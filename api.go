@@ -1,0 +1,262 @@
+package pseudohoneypot
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/core"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/experiments"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/honeypot"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/label"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/twitterapi"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases form the stable public surface.
+type (
+	// Config parameterizes the simulated social world.
+	Config = socialnet.Config
+	// World is the simulated social network.
+	World = socialnet.World
+	// Tweet is one simulated status update.
+	Tweet = socialnet.Tweet
+	// Account is a simulated user profile.
+	Account = socialnet.Account
+	// AccountID identifies an account.
+	AccountID = socialnet.AccountID
+	// Selector is one pseudo-honeypot selection criterion.
+	Selector = socialnet.Selector
+	// SelectorSpec pairs a selector with its node budget.
+	SelectorSpec = core.SelectorSpec
+	// Monitor is the pseudo-honeypot monitoring engine.
+	Monitor = core.Monitor
+	// GroupStats aggregates one selector group's captures.
+	GroupStats = core.GroupStats
+	// Capture is one collected tweet with extraction context.
+	Capture = core.Capture
+	// PGERow is one garner-efficiency ranking entry.
+	PGERow = core.PGERow
+	// ClassifierName identifies a detector family (DT, kNN, SVM, EGB, RF).
+	ClassifierName = core.ClassifierName
+	// Metrics holds classification quality measures.
+	Metrics = ml.Metrics
+	// LabelResult is the ground-truth labeling output.
+	LabelResult = label.Result
+	// APIServer is the HTTP emulation of the Twitter developer APIs.
+	APIServer = twitterapi.Server
+	// APIClient consumes the emulated Twitter APIs.
+	APIClient = twitterapi.Client
+	// HoneypotDeployment is the traditional-honeypot baseline.
+	HoneypotDeployment = honeypot.Deployment
+	// ExperimentRunner regenerates the paper's tables and figures.
+	ExperimentRunner = experiments.Runner
+	// OnlineDetector retrains on a sliding window of labeled captures,
+	// the paper's §IV-C answer to the Twitter spammer-drift problem.
+	OnlineDetector = core.OnlineDetector
+)
+
+// NewOnlineDetector creates a drift-aware detector of the named family
+// with the given sliding-window size and retraining cadence.
+func NewOnlineDetector(name ClassifierName, window, retrainEvery int, seed int64) (*OnlineDetector, error) {
+	return core.NewOnlineDetector(name, window, retrainEvery, seed)
+}
+
+// Classifier family names (the paper's Table IV rows).
+const (
+	ClassifierDT  = core.ClassifierDT
+	ClassifierKNN = core.ClassifierKNN
+	ClassifierSVM = core.ClassifierSVM
+	ClassifierEGB = core.ClassifierEGB
+	ClassifierRF  = core.ClassifierRF
+)
+
+// DefaultConfig returns the scaled-down default world configuration.
+func DefaultConfig() Config { return socialnet.DefaultConfig() }
+
+// FullScaleConfig approximates the paper's deployment scale.
+func FullScaleConfig() Config { return socialnet.FullScaleConfig() }
+
+// StandardSpecs builds the paper's 2,400-node deployment plan scaled by
+// nodesPerValue (10 reproduces the paper's budget exactly).
+func StandardSpecs(nodesPerValue int) []SelectorSpec {
+	return core.StandardSpecs(nodesPerValue)
+}
+
+// RandomSpec builds the non-pseudo-honeypot baseline plan: n random nodes.
+func RandomSpec(n int) []SelectorSpec { return core.RandomSpec(n) }
+
+// Simulation couples a generated world with its traffic engine.
+type Simulation struct {
+	world  *socialnet.World
+	engine *socialnet.Engine
+}
+
+// NewSimulation generates a world from cfg and prepares its engine.
+func NewSimulation(cfg Config) (*Simulation, error) {
+	w, err := socialnet.NewWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{world: w, engine: socialnet.NewEngine(w)}, nil
+}
+
+// World returns the simulated network.
+func (s *Simulation) World() *World { return s.world }
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() time.Time { return s.engine.Now() }
+
+// RunHours advances the simulation by n hours of traffic.
+func (s *Simulation) RunHours(n int) { s.engine.RunHours(n) }
+
+// Subscribe delivers every generated tweet to fn (read-only) and returns a
+// cancel function.
+func (s *Simulation) Subscribe(fn func(*Tweet)) (cancel func()) {
+	return s.engine.Subscribe(fn)
+}
+
+// NewAPIServer exposes the simulation over the emulated Twitter API.
+// Advance simulated hours through the server (or POST /sim/advance.json)
+// rather than calling RunHours directly once handlers are attached.
+func (s *Simulation) NewAPIServer(opts ...twitterapi.ServerOption) *APIServer {
+	return twitterapi.NewServer(s.engine, opts...)
+}
+
+// SnifferConfig parameterizes a pseudo-honeypot sniffer.
+type SnifferConfig struct {
+	// Specs is the deployment plan; nil uses StandardSpecs(2).
+	Specs []SelectorSpec
+	// Classifier selects the detector family; empty uses RF, the
+	// paper's choice.
+	Classifier ClassifierName
+	// Seed drives selection sampling and model training.
+	Seed int64
+	// ManualLabelErrorRate is the simulated human-annotator error rate
+	// used during ground-truth labeling.
+	ManualLabelErrorRate float64
+	// NaiveSelection disables the pseudo-honeypot selection refinements
+	// (Active-status screening and ratio hygiene). The paper's
+	// "non pseudo-honeypot" baseline selects accounts naively.
+	NaiveSelection bool
+}
+
+// Sniffer is the end-to-end pseudo-honeypot pipeline bound to a
+// simulation: node selection with hourly rotation, mention monitoring,
+// labeling, training, and classification.
+type Sniffer struct {
+	sim     *Simulation
+	monitor *core.Monitor
+	cfg     SnifferConfig
+	detach  func()
+}
+
+// NewSniffer attaches a sniffer to the simulation. The node set rotates at
+// every simulated hour automatically.
+func NewSniffer(sim *Simulation, cfg SnifferConfig) (*Sniffer, error) {
+	if sim == nil {
+		return nil, errors.New("pseudohoneypot: nil simulation")
+	}
+	if len(cfg.Specs) == 0 {
+		cfg.Specs = core.StandardSpecs(2)
+	}
+	if cfg.Classifier == "" {
+		cfg.Classifier = core.ClassifierRF
+	}
+	if cfg.ManualLabelErrorRate == 0 {
+		cfg.ManualLabelErrorRate = 0.01
+	}
+	mcfg := core.MonitorConfig{
+		Specs:      cfg.Specs,
+		ActiveOnly: true,
+		Seed:       cfg.Seed,
+	}
+	if cfg.NaiveSelection {
+		mcfg.ActiveOnly = false
+		mcfg.MaxRatio = -1
+	}
+	m := core.NewMonitor(mcfg, &core.LocalScreener{
+		World: sim.world,
+		Rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
+	})
+	detach := core.Attach(m, sim.engine)
+	return &Sniffer{sim: sim, monitor: m, cfg: cfg, detach: detach}, nil
+}
+
+// Close detaches the sniffer from the simulation's stream.
+func (s *Sniffer) Close() { s.detach() }
+
+// Monitor exposes the underlying monitor (groups, captures, PGE inputs).
+func (s *Sniffer) Monitor() *Monitor { return s.monitor }
+
+// DetectionResult is the outcome of DetectAll.
+type DetectionResult struct {
+	// Captures is the number of collected tweets.
+	Captures int
+	// Spams is the number classified as spam.
+	Spams int
+	// Spammers is the number of distinct detected spam accounts.
+	Spammers int
+	// Labels is the ground-truth labeling used for training.
+	Labels *LabelResult
+	// PGE ranks every selector group by garner efficiency.
+	PGE []PGERow
+}
+
+// DetectAll runs the paper's detection pipeline on everything collected so
+// far: label the corpus (suspended accounts, clustering, rules, simulated
+// manual checking), train the configured classifier, classify all
+// captures, and attribute spam to selector groups.
+func (s *Sniffer) DetectAll() (*DetectionResult, error) {
+	captures := s.monitor.Captures()
+	if len(captures) == 0 {
+		return nil, errors.New("pseudohoneypot: nothing captured yet")
+	}
+	tweets := make([]*socialnet.Tweet, len(captures))
+	for i, c := range captures {
+		tweets[i] = c.Tweet
+	}
+	corpus := label.NewCorpus(tweets, s.sim.world.Account)
+	pipeline := label.NewPipeline(label.DefaultConfig())
+	oracle := label.NewNoisyOracle(s.sim.world, s.cfg.ManualLabelErrorRate, s.cfg.Seed+2)
+	labels := pipeline.Run(corpus, oracle)
+
+	clf, err := core.NewClassifier(s.cfg.Classifier, s.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	det := core.NewDetector(clf)
+	if err := det.Train(captures, labels); err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+	verdicts := det.Classify(captures)
+	s.monitor.AttributeSpam(verdicts)
+
+	res := &DetectionResult{
+		Captures: len(captures),
+		Labels:   labels,
+		PGE:      core.ComputePGE(s.monitor.Groups()),
+	}
+	spammers := make(map[socialnet.AccountID]struct{})
+	for i, v := range verdicts {
+		if v {
+			res.Spams++
+			spammers[captures[i].Tweet.AuthorID] = struct{}{}
+		}
+	}
+	res.Spammers = len(spammers)
+	return res, nil
+}
+
+// NewExperiments creates a runner that regenerates the paper's tables and
+// figures at the named scale ("small", "medium", or "full").
+func NewExperiments(scaleName string) (*ExperimentRunner, error) {
+	scale, ok := experiments.ScaleByName(scaleName)
+	if !ok {
+		return nil, fmt.Errorf("pseudohoneypot: unknown scale %q", scaleName)
+	}
+	return experiments.NewRunner(scale), nil
+}

@@ -1,0 +1,142 @@
+// Command phsniffer runs the end-to-end pseudo-honeypot spam sniffer on an
+// in-process simulated world: select nodes by attribute, monitor the
+// mention stream with hourly rotation, label the collected corpus, train
+// the random-forest detector, classify everything, and print the detection
+// summary with the PGE ranking.
+//
+// Usage:
+//
+//	phsniffer [-hours 24] [-nodes-per-value 2] [-accounts 6000]
+//	          [-classifier RF] [-seed 1] [-top 10]
+//
+// With -server, phsniffer instead attaches to a running twitterd over HTTP:
+// nodes are screened through the REST search endpoint and monitored through
+// statuses/filter, one simulated hour per rotation. Remote mode reports the
+// collection statistics (labeling and training need the in-process oracle).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	pseudohoneypot "github.com/pseudo-honeypot/pseudohoneypot"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/core"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/remote"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/report"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/twitterapi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		hours      = flag.Int("hours", 24, "simulated hours to monitor")
+		perValue   = flag.Int("nodes-per-value", 2, "pseudo-honeypot nodes per attribute sample value (paper: 10)")
+		accounts   = flag.Int("accounts", 6000, "number of simulated accounts")
+		organic    = flag.Int("organic", 1200, "organic tweets per simulated hour")
+		classifier = flag.String("classifier", "RF", "detector family: DT, kNN, SVM, EGB, RF")
+		seed       = flag.Int64("seed", 1, "world and selection seed")
+		top        = flag.Int("top", 10, "PGE rows to print")
+		server     = flag.String("server", "", "twitterd base URL for remote monitoring (e.g. http://127.0.0.1:8331)")
+	)
+	flag.Parse()
+
+	if *server != "" {
+		return runRemote(*server, *hours, *perValue, *seed)
+	}
+
+	cfg := pseudohoneypot.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.NumAccounts = *accounts
+	cfg.OrganicTweetsPerHour = *organic
+	sim, err := pseudohoneypot.NewSimulation(cfg)
+	if err != nil {
+		return err
+	}
+	sniffer, err := pseudohoneypot.NewSniffer(sim, pseudohoneypot.SnifferConfig{
+		Specs:      pseudohoneypot.StandardSpecs(*perValue),
+		Classifier: pseudohoneypot.ClassifierName(*classifier),
+		Seed:       *seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer sniffer.Close()
+
+	specs := pseudohoneypot.StandardSpecs(*perValue)
+	nodes := 0
+	for _, s := range specs {
+		nodes += s.Nodes
+	}
+	fmt.Printf("phsniffer: %d-node pseudo-honeypot network over %d accounts, %d hours\n",
+		nodes, *accounts, *hours)
+
+	sim.RunHours(*hours)
+	res, err := sniffer.DetectAll()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\ncollected %d tweets; classified %d spams from %d spammers\n",
+		res.Captures, res.Spams, res.Spammers)
+	fmt.Printf("ground truth: %d labeled spams, %d labeled spammers (%d manual checks)\n\n",
+		res.Labels.TotalSpams(), res.Labels.TotalSpammers(), res.Labels.ManualChecks)
+
+	tbl := &report.Table{
+		Title:   "Top attributes by garner efficiency (PGE)",
+		Headers: []string{"Rank", "Selector", "Spammers", "Node-hours", "PGE"},
+	}
+	for i, row := range res.PGE {
+		if i >= *top {
+			break
+		}
+		tbl.AddRow(i+1, row.Selector.String(), row.Spammers, row.NodeHours, row.PGE)
+	}
+	fmt.Print(tbl.Render())
+	return nil
+}
+
+// runRemote monitors a live twitterd over HTTP and reports collection
+// statistics per selector group.
+func runRemote(server string, hours, perValue int, seed int64) error {
+	client := twitterapi.NewClient(server, http.DefaultClient)
+	sniffer, err := remote.NewSniffer(client, core.MonitorConfig{
+		Specs:      core.StandardSpecs(perValue),
+		ActiveOnly: true,
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("phsniffer: remote monitoring %s for %d simulated hours\n", server, hours)
+	if err := sniffer.MonitorSimHours(context.Background(), hours); err != nil {
+		return err
+	}
+	fmt.Println(sniffer.Summary())
+
+	tbl := &report.Table{
+		Title:   "Collected tweets per selector group (top 15)",
+		Headers: []string{"Selector", "Tweets", "Senders", "Node-hours"},
+	}
+	groups := sniffer.Monitor().Groups()
+	shown := 0
+	for _, g := range groups {
+		if g.Tweets == 0 {
+			continue
+		}
+		tbl.AddRow(g.Spec.Selector.String(), g.Tweets, len(g.Senders), g.NodeHours)
+		shown++
+		if shown >= 15 {
+			break
+		}
+	}
+	fmt.Print(tbl.Render())
+	return nil
+}

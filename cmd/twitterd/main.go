@@ -1,0 +1,104 @@
+// Command twitterd serves a simulated Twitter-like social network over the
+// emulated developer APIs: statuses/filter streaming (NDJSON), user
+// show/lookup/search, trends, and simulation control endpoints.
+//
+// Usage:
+//
+//	twitterd [-addr :8331] [-accounts 6000] [-organic 1200] [-seed 1]
+//	         [-tick 2s] [-oracle]
+//
+// With -tick set, one simulated hour elapses per tick of wall time;
+// without it, advance time explicitly via POST /sim/advance.json?hours=N.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/twitterapi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8331", "listen address")
+		accounts = flag.Int("accounts", 6000, "number of simulated accounts")
+		organic  = flag.Int("organic", 1200, "organic tweets per simulated hour")
+		seed     = flag.Int64("seed", 1, "world seed")
+		tick     = flag.Duration("tick", 0, "wall-clock duration of one simulated hour (0 = manual advance)")
+		oracle   = flag.Bool("oracle", false, "expose ground-truth spam fields on streams (evaluation only)")
+	)
+	flag.Parse()
+
+	cfg := socialnet.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.NumAccounts = *accounts
+	cfg.OrganicTweetsPerHour = *organic
+	world, err := socialnet.NewWorld(cfg)
+	if err != nil {
+		return err
+	}
+	engine := socialnet.NewEngine(world)
+
+	opts := []twitterapi.ServerOption{twitterapi.WithSeed(*seed)}
+	if *oracle {
+		opts = append(opts, twitterapi.WithOracle())
+	}
+	api := twitterapi.NewServer(engine, opts...)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *tick > 0 {
+		go func() {
+			ticker := time.NewTicker(*tick)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					api.Advance(1)
+				}
+			}
+		}()
+	}
+
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Printf("twitterd: %d accounts, %d organic tweets/h, listening on %s\n",
+		world.NumAccounts(), *organic, *addr)
+	if *tick > 0 {
+		fmt.Printf("twitterd: 1 simulated hour per %v\n", *tick)
+	} else {
+		fmt.Println("twitterd: advance time via POST /sim/advance.json?hours=N")
+	}
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+// Package pseudohoneypot is a from-scratch Go reproduction of
+// "Pseudo-honeypot: Toward Efficient and Scalable Spam Sniffer"
+// (Zhang, Zhang, Yuan, Tzeng — DSN 2019).
+//
+// A pseudo-honeypot harnesses existing normal social-network accounts
+// whose attributes attract spammers, passively monitors the mention
+// traffic crossing them, and feeds a machine-learning spam detector. This
+// module implements the complete system — attribute-based node selection,
+// hourly-rotating monitoring, 58-feature extraction, the four-stage
+// ground-truth labeling pipeline, and five classifier families — together
+// with the substrate the paper's evaluation requires: a synthetic
+// Twitter-scale social world with spam campaigns, an HTTP emulation of the
+// Streaming/REST APIs, and an experiments harness that regenerates every
+// table and figure of the paper's evaluation section.
+//
+// Quick start:
+//
+//	sim, err := pseudohoneypot.NewSimulation(pseudohoneypot.DefaultConfig())
+//	if err != nil { ... }
+//	sniffer, err := pseudohoneypot.NewSniffer(sim, pseudohoneypot.SnifferConfig{
+//		Specs: pseudohoneypot.StandardSpecs(2),
+//	})
+//	if err != nil { ... }
+//	sim.RunHours(24)
+//	result, err := sniffer.DetectAll()
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured comparison of every table and figure.
+package pseudohoneypot

@@ -1,0 +1,130 @@
+// Drift: the paper's §IV-C future-work direction. Spammer signatures
+// change over time ("spammer drift"); a detector frozen on the original
+// ground truth decays, while an online detector retraining on a sliding
+// window of freshly labeled captures keeps up.
+//
+// The example monitors a simulated world in two phases. Between them the
+// spam campaigns re-tool: reaction delays stretch toward human speeds and
+// clients switch — the kind of adversarial adaptation the paper warns
+// about. Both detectors are scored against ground truth after the shift.
+//
+//	go run ./examples/drift
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pseudohoneypot "github.com/pseudo-honeypot/pseudohoneypot"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := pseudohoneypot.DefaultConfig()
+	cfg.NumAccounts = 3000
+	cfg.OrganicTweetsPerHour = 600
+	sim, err := pseudohoneypot.NewSimulation(cfg)
+	if err != nil {
+		return err
+	}
+	sniffer, err := pseudohoneypot.NewSniffer(sim, pseudohoneypot.SnifferConfig{
+		Specs: pseudohoneypot.RandomSpec(150),
+		Seed:  1,
+	})
+	if err != nil {
+		return err
+	}
+	defer sniffer.Close()
+
+	online, err := pseudohoneypot.NewOnlineDetector(pseudohoneypot.ClassifierRF, 2000, 250, 1)
+	if err != nil {
+		return err
+	}
+
+	// Phase 1: original spammer behaviour. The frozen detector trains
+	// once on this phase; the online detector observes the same labels.
+	fmt.Println("phase 1: 10 hours of original spam behaviour...")
+	sim.RunHours(10)
+	phase1 := sniffer.Monitor().Captures()
+	frozen, err := core.NewClassifier(core.ClassifierRF, 1)
+	if err != nil {
+		return err
+	}
+	var x [][]float64
+	var y []bool
+	for _, c := range phase1 {
+		vec := make([]float64, len(c.Vector))
+		copy(vec, c.Vector[:])
+		x = append(x, vec)
+		y = append(y, c.Tweet.Spam) // ground-truth labels, as a labeling run would supply
+		if err := online.Observe(c, c.Tweet.Spam); err != nil {
+			return err
+		}
+	}
+	if err := frozen.Fit(x, y); err != nil {
+		return err
+	}
+	fmt.Printf("trained on %d captures; online detector retrained %d times\n",
+		len(phase1), online.Retrains())
+
+	// The drift: campaigns re-tool. Reaction delays stretch toward
+	// organic speeds, eroding the mention-time signal.
+	for _, c := range sim.World().Campaigns() {
+		c.ReactionDelayMeanSeconds *= 20
+	}
+	fmt.Println("\nspammer drift: campaign reaction delays stretch 20x")
+
+	// Phase 2: drifted behaviour. The online detector keeps observing
+	// labeled data; the frozen one does not.
+	fmt.Println("phase 2: 10 more hours under the drifted regime...")
+	sim.RunHours(10)
+	all := sniffer.Monitor().Captures()
+	phase2 := all[len(phase1):]
+	for _, c := range phase2 {
+		if err := online.Observe(c, c.Tweet.Spam); err != nil {
+			return err
+		}
+	}
+
+	// Score both detectors on the drifted spam.
+	var frozenTP, onlineTP, spam int
+	var frozenFP, onlineFP, ham int
+	for _, c := range phase2 {
+		if c.Tweet.Spam {
+			spam++
+			if frozen.Predict(c.Vector[:]) {
+				frozenTP++
+			}
+			if online.Classify(c) {
+				onlineTP++
+			}
+		} else {
+			ham++
+			if frozen.Predict(c.Vector[:]) {
+				frozenFP++
+			}
+			if online.Classify(c) {
+				onlineFP++
+			}
+		}
+	}
+	fmt.Printf("\ndrifted spam in phase 2: %d (of %d captures)\n", spam, len(phase2))
+	fmt.Printf("frozen detector: recall %.2f, false positives %d/%d\n",
+		recall(frozenTP, spam), frozenFP, ham)
+	fmt.Printf("online detector: recall %.2f, false positives %d/%d (%d retrains)\n",
+		recall(onlineTP, spam), onlineFP, ham, online.Retrains())
+	return nil
+}
+
+func recall(tp, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(tp) / float64(total)
+}

@@ -1,0 +1,111 @@
+// Livestream: the distributed path. Starts an in-process twitterd-style
+// API server, screens pseudo-honeypot candidates through the REST search
+// endpoint, attaches to the statuses/filter streaming endpoint with
+// mention tracking, and prints spam-looking tweets as they arrive — the
+// same Tweepy workflow the paper's implementation used (§V-A).
+//
+//	go run ./examples/livestream
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	pseudohoneypot "github.com/pseudo-honeypot/pseudohoneypot"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/twitterapi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Spin up the simulated Twitter API server.
+	cfg := pseudohoneypot.DefaultConfig()
+	cfg.NumAccounts = 3000
+	cfg.OrganicTweetsPerHour = 600
+	sim, err := pseudohoneypot.NewSimulation(cfg)
+	if err != nil {
+		return err
+	}
+	api := sim.NewAPIServer()
+	httpSrv := httptest.NewServer(api)
+	defer httpSrv.Close()
+	fmt.Printf("twitterd emulation listening at %s\n", httpSrv.URL)
+
+	client := twitterapi.NewClient(httpSrv.URL, httpSrv.Client())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Screen candidates through the REST search endpoint: accounts added
+	// to roughly one list per day of age — the paper's most effective
+	// attribute — plus trending-up posters.
+	var track []string
+	for _, q := range []twitterapi.SearchQuery{
+		{Attr: "lists_per_day", Value: 1, Count: 10, Tolerance: 0.5},
+		{Attr: "followers_count", Value: 10000, Count: 10, Tolerance: 0.5},
+		{Attr: "trend", Trend: "trending-up", Count: 10},
+	} {
+		users, err := client.UsersSearch(ctx, q)
+		if err != nil {
+			return err
+		}
+		for _, u := range users {
+			track = append(track, "@"+u.ScreenName)
+		}
+	}
+	fmt.Printf("tracking %d pseudo-honeypot nodes via statuses/filter\n\n", len(track))
+
+	// Attach to the stream; a tiny keyword heuristic stands in for the
+	// trained detector so the example stays self-contained.
+	var mu sync.Mutex
+	spamLooking, total := 0, 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = client.Stream(ctx, twitterapi.StreamFilter{Track: track}, func(tw twitterapi.Tweet) {
+			mu.Lock()
+			defer mu.Unlock()
+			total++
+			if looksSpammy(tw) {
+				spamLooking++
+				if spamLooking <= 8 {
+					fmt.Printf("[spam?] @%s: %.80s\n", tw.User.ScreenName, tw.Text)
+				}
+			}
+		})
+	}()
+
+	// Drive six simulated hours through the server.
+	for h := 0; h < 6; h++ {
+		if _, err := client.Advance(ctx, 1); err != nil {
+			return err
+		}
+		time.Sleep(150 * time.Millisecond) // let the stream drain
+	}
+	cancel()
+	<-done
+
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("\nstream delivered %d tweets; %d look spammy\n", total, spamLooking)
+	return nil
+}
+
+// looksSpammy is a deliberately simple stand-in for the trained detector.
+func looksSpammy(tw twitterapi.Tweet) bool {
+	text := strings.ToLower(tw.Text)
+	for _, kw := range []string{"money", "free", "click", "follow", "win", ".example"} {
+		if strings.Contains(text, kw) {
+			return true
+		}
+	}
+	return len(tw.Entities.URLs) > 0
+}

@@ -1,0 +1,3 @@
+module github.com/pseudo-honeypot/pseudohoneypot
+
+go 1.22

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/features"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/label"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/boost"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/forest"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/knn"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/svm"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/tree"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+)
+
+// ClassifierName identifies one of the paper's five compared detectors
+// (Table IV).
+type ClassifierName string
+
+// The five classifier families of the paper's Table IV.
+const (
+	ClassifierDT  ClassifierName = "DT"
+	ClassifierKNN ClassifierName = "kNN"
+	ClassifierSVM ClassifierName = "SVM"
+	ClassifierEGB ClassifierName = "EGB"
+	ClassifierRF  ClassifierName = "RF"
+)
+
+// ClassifierNames lists the families in the paper's Table IV row order.
+var ClassifierNames = []ClassifierName{
+	ClassifierDT, ClassifierKNN, ClassifierSVM, ClassifierEGB, ClassifierRF,
+}
+
+// NewClassifier constructs a fresh classifier of the named family with the
+// configurations used for the paper's comparison (RF: 70 trees, depth 700).
+func NewClassifier(name ClassifierName, seed int64) (ml.Classifier, error) {
+	switch name {
+	case ClassifierDT:
+		return tree.New(tree.Config{MaxDepth: 6, MinLeaf: 8, Seed: seed}), nil
+	case ClassifierKNN:
+		return knn.New(knn.Config{K: 7, MaxTrain: 4000, Seed: seed}), nil
+	case ClassifierSVM:
+		return svm.New(svm.Config{Epochs: 15, PositiveWeight: 3, Seed: seed}), nil
+	case ClassifierEGB:
+		return boost.New(boost.Config{
+			Rounds: 160, MaxDepth: 5, LearningRate: 0.15, MinLeaf: 5,
+			Subsample: 0.8, Seed: seed,
+		}), nil
+	case ClassifierRF:
+		cfg := forest.PaperConfig()
+		cfg.Seed = seed
+		return forest.New(cfg), nil
+	default:
+		return nil, fmt.Errorf("core: unknown classifier %q", name)
+	}
+}
+
+// Detector is the pseudo-honeypot spam detector: a trained classifier over
+// the 58-feature space.
+type Detector struct {
+	clf ml.Classifier
+}
+
+// NewDetector wraps a classifier.
+func NewDetector(clf ml.Classifier) *Detector {
+	return &Detector{clf: clf}
+}
+
+// BuildDataset joins captured feature vectors with pipeline labels into a
+// training dataset.
+func BuildDataset(captures []*Capture, labels *label.Result) (*ml.Dataset, error) {
+	if labels == nil {
+		return nil, errors.New("core: nil labels")
+	}
+	x := make([][]float64, 0, len(captures))
+	y := make([]bool, 0, len(captures))
+	for _, c := range captures {
+		vec := make([]float64, len(c.Vector))
+		copy(vec, c.Vector[:])
+		x = append(x, vec)
+		y = append(y, labels.IsSpam(c.Tweet.ID))
+	}
+	return ml.NewDataset(x, y)
+}
+
+// Train fits the detector on labeled captures.
+func (d *Detector) Train(captures []*Capture, labels *label.Result) error {
+	ds, err := BuildDataset(captures, labels)
+	if err != nil {
+		return err
+	}
+	if ds.Len() == 0 {
+		return errors.New("core: empty training set")
+	}
+	return d.clf.Fit(ds.X, ds.Y)
+}
+
+// FeatureImportance reports the trained detector's normalized per-feature
+// importances over the 58-feature space, or nil when the underlying
+// classifier family does not expose them (only the random forest does).
+func (d *Detector) FeatureImportance() []float64 {
+	type importancer interface{ FeatureImportance(int) []float64 }
+	f, ok := d.clf.(importancer)
+	if !ok {
+		return nil
+	}
+	return f.FeatureImportance(features.NumFeatures)
+}
+
+// Classify returns a verdict per capture, index-aligned.
+func (d *Detector) Classify(captures []*Capture) []bool {
+	verdicts := make([]bool, len(captures))
+	for i, c := range captures {
+		verdicts[i] = d.clf.Predict(c.Vector[:])
+	}
+	return verdicts
+}
+
+// Attach wires a monitor to an in-process engine: the node set rotates at
+// every simulated hour start and the monitor filters the engine's firehose.
+// It returns a detach function removing the stream subscription.
+func Attach(m *Monitor, e *socialnet.Engine) (detach func()) {
+	world := e.World()
+	e.OnHourStart(func(hour int, now time.Time) {
+		m.Rotate(now, time.Hour)
+	})
+	return e.Subscribe(func(t *socialnet.Tweet) {
+		m.OnTweet(t, world.Account)
+	})
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/features"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+)
+
+// Screener finds candidate pseudo-honeypot accounts. socialnet.World
+// satisfies it directly through LocalScreener; an API-backed implementation
+// screens through /1.1/users/search.
+type Screener interface {
+	Screen(q socialnet.ScreenQuery, now time.Time) []*socialnet.Account
+}
+
+// LocalScreener screens an in-process world.
+type LocalScreener struct {
+	World *socialnet.World
+	Rng   *rand.Rand
+}
+
+var _ Screener = (*LocalScreener)(nil)
+
+// Screen implements Screener.
+func (s *LocalScreener) Screen(q socialnet.ScreenQuery, now time.Time) []*socialnet.Account {
+	return s.World.Screen(q, now, s.Rng)
+}
+
+// MonitorConfig parameterizes a pseudo-honeypot monitor.
+type MonitorConfig struct {
+	// Specs is the deployment plan (selectors and node budgets).
+	Specs []SelectorSpec
+
+	// ActiveOnly restricts selection to accounts in Active status
+	// (paper §III-D). When few accounts qualify (e.g. the first hours of
+	// a run), selection transparently falls back to all accounts so the
+	// network never starts empty.
+	ActiveOnly bool
+
+	// Tolerance is the numeric sample-value band (0 ⇒ socialnet default).
+	Tolerance float64
+
+	// ReuseNodes allows re-selecting accounts used in earlier rotations.
+	// The paper migrates to fresh accounts each hour; tests may disable
+	// exclusion to keep small worlds from exhausting candidates.
+	ReuseNodes bool
+
+	// MaxRatio is the selection-hygiene bound on candidates'
+	// friend/follower ratio (skip follow-heavy spam-looking accounts).
+	// Zero uses DefaultMaxRatio; negative disables the filter. The
+	// filter never applies to ratio-attribute selectors, which sample
+	// specific ratios by design.
+	MaxRatio float64
+
+	// Seed drives selection sampling.
+	Seed int64
+}
+
+// GroupStats aggregates what one selector's node group captured.
+type GroupStats struct {
+	Spec SelectorSpec
+
+	// NodeHours is Σ (selected nodes × rotation hours) — the G·T term of
+	// the PGE denominator.
+	NodeHours float64
+
+	// Tweets is the number of captured tweets attributed to the group.
+	Tweets int
+
+	// Senders is the set of distinct authors of captured tweets.
+	Senders map[socialnet.AccountID]struct{}
+
+	// Spams / Spammers are filled in by the detector's attribution pass.
+	Spams    int
+	Spammers map[socialnet.AccountID]struct{}
+}
+
+// Capture is one collected tweet with its extraction context.
+type Capture struct {
+	Tweet    *socialnet.Tweet
+	Sender   *socialnet.Account
+	Receiver *socialnet.Account
+	// Groups indexes into the monitor's group list: every selector group
+	// whose node captured this tweet.
+	Groups []int
+	// Vector is the 58-feature vector extracted at capture time.
+	Vector features.Vector
+	// Spam is the detector's verdict, set by the classification pass
+	// (not ground truth).
+	Spam bool
+}
+
+// DefaultMaxRatio is the default selection-hygiene bound on candidates'
+// friend/follower ratio.
+const DefaultMaxRatio = 10
+
+// Monitor implements pseudo-honeypot monitoring: it holds the current node
+// set, rotates it to fresh accounts (portability, §III-D), filters the
+// tweet stream down to mention interactions crossing the nodes (§III-E),
+// and extracts features at capture time.
+type Monitor struct {
+	cfg      MonitorConfig
+	screener Screener
+	rng      *rand.Rand
+
+	groups []*GroupStats
+	// nodes maps a currently-selected account to the groups it serves.
+	nodes map[socialnet.AccountID][]int
+	// used records accounts selected in any rotation (exclusion set).
+	used map[socialnet.AccountID]struct{}
+
+	extractor *features.Extractor
+	captures  []*Capture
+
+	rotations int
+}
+
+// NewMonitor creates a monitor over the screener.
+func NewMonitor(cfg MonitorConfig, screener Screener) *Monitor {
+	m := &Monitor{
+		cfg:       cfg,
+		screener:  screener,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		nodes:     make(map[socialnet.AccountID][]int),
+		used:      make(map[socialnet.AccountID]struct{}),
+		extractor: features.NewExtractor(),
+	}
+	for _, spec := range cfg.Specs {
+		m.groups = append(m.groups, &GroupStats{
+			Spec:     spec,
+			Senders:  make(map[socialnet.AccountID]struct{}),
+			Spammers: make(map[socialnet.AccountID]struct{}),
+		})
+	}
+	return m
+}
+
+// Extractor exposes the monitor's feature extractor (for environment-score
+// updates after classification).
+func (m *Monitor) Extractor() *features.Extractor { return m.extractor }
+
+// Groups returns the per-selector statistics (shared, live values).
+func (m *Monitor) Groups() []*GroupStats { return m.groups }
+
+// Captures returns the collected observations (shared slice).
+func (m *Monitor) Captures() []*Capture { return m.captures }
+
+// Rotations returns how many times the node set was (re)selected.
+func (m *Monitor) Rotations() int { return m.rotations }
+
+// NodeCount returns the current number of distinct harnessed accounts.
+func (m *Monitor) NodeCount() int { return len(m.nodes) }
+
+// CurrentNodes returns a copy of the current node assignment: each
+// harnessed account mapped to the indices of the selector groups it serves.
+func (m *Monitor) CurrentNodes() map[socialnet.AccountID][]int {
+	out := make(map[socialnet.AccountID][]int, len(m.nodes))
+	for id, gis := range m.nodes {
+		out[id] = append([]int(nil), gis...)
+	}
+	return out
+}
+
+// Rotate drops the previous node set and selects a fresh one (the paper
+// rotates hourly). period is the time the new set will be monitored; it
+// feeds the node-hours PGE denominator.
+func (m *Monitor) Rotate(now time.Time, period time.Duration) {
+	m.nodes = make(map[socialnet.AccountID][]int)
+	maxRatio := m.cfg.MaxRatio
+	if maxRatio == 0 {
+		maxRatio = DefaultMaxRatio
+	}
+	for gi, g := range m.groups {
+		q := socialnet.ScreenQuery{
+			Selector:   g.Spec.Selector,
+			Count:      g.Spec.Nodes,
+			Tolerance:  m.cfg.Tolerance,
+			ActiveOnly: m.cfg.ActiveOnly,
+		}
+		if maxRatio > 0 && g.Spec.Selector.Attr != socialnet.AttrFriendFollowerRatio {
+			q.MaxFriendFollowerRatio = maxRatio
+		}
+		if !m.cfg.ReuseNodes {
+			q.Exclude = m.used
+		}
+		accounts := m.screener.Screen(q, now)
+		if m.cfg.ActiveOnly && len(accounts) < g.Spec.Nodes {
+			// Too few active candidates (e.g. cold start): fall back
+			// to dormant accounts to fill the budget.
+			q.ActiveOnly = false
+			accounts = m.screener.Screen(q, now)
+		}
+		if !m.cfg.ReuseNodes && len(accounts) < g.Spec.Nodes {
+			// Exclusion exhausted the candidate pool: allow reuse.
+			q.Exclude = nil
+			accounts = m.screener.Screen(q, now)
+		}
+		for _, a := range accounts {
+			m.nodes[a.ID] = append(m.nodes[a.ID], gi)
+			m.used[a.ID] = struct{}{}
+		}
+		g.NodeHours += float64(len(accounts)) * period.Hours()
+	}
+	m.rotations++
+}
+
+// AccrueHours extends the current node set's monitored time without
+// reselecting — the static (non-rotating) deployment mode used by the
+// portability ablation.
+func (m *Monitor) AccrueHours(period time.Duration) {
+	counts := make(map[int]int)
+	for _, gis := range m.nodes {
+		for _, gi := range gis {
+			counts[gi]++
+		}
+	}
+	for gi, n := range counts {
+		m.groups[gi].NodeHours += float64(n) * period.Hours()
+	}
+}
+
+// OnTweet feeds one stream tweet through the mention filter. lookup
+// resolves account profiles (world lookup in-process, REST lookup over the
+// API). Tweets are captured when they mention a current node or are
+// authored by one (the paper's Categories (1)–(3)).
+func (m *Monitor) OnTweet(t *socialnet.Tweet, lookup func(socialnet.AccountID) *socialnet.Account) {
+	groupSet := make(map[int]struct{})
+	var receiver *socialnet.Account
+
+	for _, mention := range t.Mentions {
+		if gis, ok := m.nodes[mention]; ok {
+			for _, gi := range gis {
+				groupSet[gi] = struct{}{}
+			}
+			if receiver == nil {
+				receiver = lookup(mention)
+			}
+		}
+	}
+	if gis, ok := m.nodes[t.AuthorID]; ok {
+		for _, gi := range gis {
+			groupSet[gi] = struct{}{}
+		}
+	}
+	if len(groupSet) == 0 {
+		return
+	}
+
+	sender := lookup(t.AuthorID)
+	groups := make([]int, 0, len(groupSet))
+	attrKeys := make([]string, 0, len(groupSet))
+	for gi := range groupSet {
+		groups = append(groups, gi)
+		g := m.groups[gi]
+		g.Tweets++
+		g.Senders[t.AuthorID] = struct{}{}
+		attrKeys = append(attrKeys, g.Spec.Selector.Attr.Key())
+	}
+
+	vec := m.extractor.Extract(features.Observation{
+		Tweet:    t,
+		Sender:   sender,
+		Receiver: receiver,
+		AttrKeys: attrKeys,
+	})
+	m.captures = append(m.captures, &Capture{
+		Tweet:    t,
+		Sender:   sender,
+		Receiver: receiver,
+		Groups:   groups,
+		Vector:   vec,
+	})
+}
+
+// AttributeSpam records detector verdicts into the per-group statistics
+// and refreshes the environment scores (P_attr) the extractor uses for
+// subsequent captures.
+//
+// Only spam *received* by a node (a mention capture) is attributed to the
+// node's selector group: PGE measures an attribute's power to attract
+// spammers, and a harnessed account that itself turns out to be a spammer
+// (Category (1)) garners nothing. Category (1) spam still appears in the
+// capture list and the run totals.
+func (m *Monitor) AttributeSpam(verdicts []bool) {
+	for i, c := range m.captures {
+		if i >= len(verdicts) {
+			break
+		}
+		c.Spam = verdicts[i]
+		if !c.Spam || c.Receiver == nil {
+			continue
+		}
+		for _, gi := range c.Groups {
+			g := m.groups[gi]
+			g.Spams++
+			g.Spammers[c.Tweet.AuthorID] = struct{}{}
+		}
+	}
+	for _, g := range m.groups {
+		if g.Tweets == 0 {
+			continue
+		}
+		p := float64(g.Spams) / float64(g.Tweets)
+		m.extractor.UpdateEnvScore(g.Spec.Selector.Attr.Key(), p)
+	}
+}

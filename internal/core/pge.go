@@ -1,0 +1,118 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+)
+
+// PGERow is one entry of the garner-efficiency ranking (paper §V-E):
+// PGE_i = N_i / (G_i · T_i), spammers garnered per pseudo-honeypot node
+// per hour.
+type PGERow struct {
+	Selector  socialnet.Selector
+	Spammers  int
+	Spams     int
+	Tweets    int
+	NodeHours float64
+	PGE       float64
+}
+
+// ComputePGE ranks every selector group by garner efficiency, highest
+// first.
+func ComputePGE(groups []*GroupStats) []PGERow {
+	rows := make([]PGERow, 0, len(groups))
+	for _, g := range groups {
+		row := PGERow{
+			Selector:  g.Spec.Selector,
+			Spammers:  len(g.Spammers),
+			Spams:     g.Spams,
+			Tweets:    g.Tweets,
+			NodeHours: g.NodeHours,
+		}
+		if g.NodeHours > 0 {
+			row.PGE = float64(len(g.Spammers)) / g.NodeHours
+		}
+		rows = append(rows, row)
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].PGE > rows[j].PGE })
+	return rows
+}
+
+// TopSelectors returns the k selectors with the highest PGE — the paper's
+// refinement step that defines the advanced pseudo-honeypot.
+func TopSelectors(rows []PGERow, k int) []socialnet.Selector {
+	if k > len(rows) {
+		k = len(rows)
+	}
+	out := make([]socialnet.Selector, 0, k)
+	for _, r := range rows[:k] {
+		out = append(out, r.Selector)
+	}
+	return out
+}
+
+// AdvancedSpecs builds the advanced pseudo-honeypot deployment plan: the
+// top-k PGE selectors with nodesEach accounts per selector (the paper uses
+// k = 10, nodesEach = 10 for a 100-node system).
+func AdvancedSpecs(rows []PGERow, k, nodesEach int) []SelectorSpec {
+	sels := TopSelectors(rows, k)
+	specs := make([]SelectorSpec, 0, len(sels))
+	for _, s := range sels {
+		specs = append(specs, SelectorSpec{Selector: s, Nodes: nodesEach})
+	}
+	return specs
+}
+
+// AttrSummary aggregates group statistics to whole-attribute level (the
+// paper's Table V rows: e.g. all ten "lists count" sample values pooled).
+type AttrSummary struct {
+	Attr     socialnet.Attribute
+	Label    string
+	Tweets   int
+	Spams    int
+	Spammers int
+}
+
+// SummarizeByAttribute pools group statistics per attribute. Hashtag and
+// trend selectors are reported per category/state (as the paper's
+// Table V does, e.g. "Hashtag: Social" and "Trending up" are rows).
+func SummarizeByAttribute(groups []*GroupStats) []AttrSummary {
+	type key struct {
+		attr  socialnet.Attribute
+		label string
+	}
+	pooled := make(map[key]*AttrSummary)
+	spammerSets := make(map[key]map[socialnet.AccountID]struct{})
+	order := make([]key, 0)
+	for _, g := range groups {
+		sel := g.Spec.Selector
+		k := key{attr: sel.Attr, label: sel.Attr.String()}
+		switch sel.Attr {
+		case socialnet.AttrHashtag:
+			k.label = "Hashtag: " + sel.Category.String()
+		case socialnet.AttrTrend:
+			k.label = sel.Trend.String()
+		}
+		s, ok := pooled[k]
+		if !ok {
+			s = &AttrSummary{Attr: sel.Attr, Label: k.label}
+			pooled[k] = s
+			spammerSets[k] = make(map[socialnet.AccountID]struct{})
+			order = append(order, k)
+		}
+		s.Tweets += g.Tweets
+		s.Spams += g.Spams
+		for id := range g.Spammers {
+			spammerSets[k][id] = struct{}{}
+		}
+	}
+	out := make([]AttrSummary, 0, len(order))
+	for _, k := range order {
+		s := pooled[k]
+		s.Spammers = len(spammerSets[k])
+		out = append(out, *s)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Spammers > out[j].Spammers })
+	return out
+}

@@ -1,0 +1,114 @@
+// Package core implements the paper's primary contribution: the
+// pseudo-honeypot system. It provides the attribute sample-value tables
+// (Table II), attribute-based node selection over existing accounts,
+// hourly-rotating monitoring of the mention stream crossing those nodes
+// (§III), the PGE efficiency metric and top-K attribute refinement (§V-E),
+// and the machine-learning detector wiring (§IV).
+package core
+
+import (
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+)
+
+// SampleValues reproduces the paper's Table II: for each profile-based
+// attribute, the ten sample values whose surrounding accounts serve as
+// pseudo-honeypot nodes.
+var SampleValues = map[socialnet.Attribute][]float64{
+	socialnet.AttrFriends: {
+		10, 50, 100, 200, 300, 500, 1000, 3000, 5000, 10000,
+	},
+	socialnet.AttrFollowers: {
+		10, 50, 100, 200, 300, 500, 1000, 3000, 5000, 10000,
+	},
+	socialnet.AttrTotalFriendsFollowers: {
+		20, 100, 200, 500, 1000, 2000, 3000, 5000, 10000, 30000,
+	},
+	socialnet.AttrFriendFollowerRatio: {
+		1.0 / 10, 1.0 / 8, 1.0 / 4, 1.0 / 2, 1, 2, 4, 6, 8, 10,
+	},
+	socialnet.AttrAgeDays: {
+		10, 50, 100, 300, 500, 1000, 1500, 2000, 2500, 3000,
+	},
+	socialnet.AttrLists: {
+		10, 20, 30, 40, 50, 70, 100, 200, 300, 500,
+	},
+	socialnet.AttrFavourites: {
+		10, 50, 100, 500, 1000, 5000, 10000, 50000, 100000, 200000,
+	},
+	socialnet.AttrStatuses: {
+		10, 50, 100, 500, 1000, 5000, 10000, 50000, 100000, 200000,
+	},
+	socialnet.AttrListsPerDay: {
+		1.0 / 100, 1.0 / 50, 1.0 / 20, 1.0 / 10, 1.0 / 8, 1.0 / 6,
+		1.0 / 4, 1.0 / 2, 1, 2,
+	},
+	socialnet.AttrFavouritesPerDay: {
+		1.0 / 50, 1.0 / 10, 1.0 / 5, 1.0 / 2, 1, 2, 3, 5, 10, 50,
+	},
+	socialnet.AttrStatusesPerDay: {
+		1.0 / 50, 1.0 / 10, 1.0 / 5, 1.0 / 2, 1, 2, 3, 4, 10, 50,
+	},
+}
+
+// SelectorSpec is one selection criterion with its pseudo-honeypot node
+// budget.
+type SelectorSpec struct {
+	Selector socialnet.Selector
+	// Nodes is the number of accounts to harness for this selector.
+	Nodes int
+}
+
+// StandardSpecs builds the paper's 2,400-node deployment plan scaled by
+// nodesPerValue (the paper uses 10): every Table II sample value gets
+// nodesPerValue nodes; every hashtag category and trend state gets
+// 10×nodesPerValue nodes (10 top hashtags / topics × nodesPerValue
+// accounts each).
+func StandardSpecs(nodesPerValue int) []SelectorSpec {
+	if nodesPerValue <= 0 {
+		nodesPerValue = 10
+	}
+	var specs []SelectorSpec
+	for _, attr := range socialnet.ProfileAttributes {
+		for _, v := range SampleValues[attr] {
+			specs = append(specs, SelectorSpec{
+				Selector: socialnet.Selector{Attr: attr, Value: v},
+				Nodes:    nodesPerValue,
+			})
+		}
+	}
+	for _, cat := range socialnet.HashtagCategories {
+		specs = append(specs, SelectorSpec{
+			Selector: socialnet.Selector{Attr: socialnet.AttrHashtag, Category: cat},
+			Nodes:    10 * nodesPerValue,
+		})
+	}
+	specs = append(specs, SelectorSpec{
+		Selector: socialnet.Selector{Attr: socialnet.AttrHashtag, Category: socialnet.HashtagNone},
+		Nodes:    10 * nodesPerValue,
+	})
+	for _, state := range socialnet.TrendStates {
+		specs = append(specs, SelectorSpec{
+			Selector: socialnet.Selector{Attr: socialnet.AttrTrend, Trend: state},
+			Nodes:    10 * nodesPerValue,
+		})
+	}
+	return specs
+}
+
+// TotalNodes sums the node budget of a deployment plan.
+func TotalNodes(specs []SelectorSpec) int {
+	total := 0
+	for _, s := range specs {
+		total += s.Nodes
+	}
+	return total
+}
+
+// RandomSpec is the paper's "non pseudo-honeypot" baseline: n uniformly
+// random accounts.
+func RandomSpec(n int) []SelectorSpec {
+	return []SelectorSpec{{
+		Selector: socialnet.Selector{Attr: socialnet.AttrRandom},
+		Nodes:    n,
+	}}
+}

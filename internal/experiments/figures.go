@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/core"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/report"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+)
+
+// Figure2 reproduces the fraction of spammers vs. number of spam messages
+// posted (the paper: >90% post exactly one spam, <0.03% more than ten).
+func (r *Runner) Figure2() (*report.Series, error) {
+	main, err := r.RunMain()
+	if err != nil {
+		return nil, err
+	}
+	hist := make(map[int]int)
+	maxCount := 0
+	for _, n := range main.SpamsPerSpammer {
+		hist[n]++
+		if n > maxCount {
+			maxCount = n
+		}
+	}
+	total := len(main.SpamsPerSpammer)
+	s := &report.Series{
+		Title:  "Figure 2 — fraction of spammers vs number of spams posted",
+		XLabel: "spams",
+		Cols:   []string{"spammers", "fraction"},
+	}
+	counts := make([]int, 0, len(hist))
+	for c := range hist {
+		counts = append(counts, c)
+	}
+	sort.Ints(counts)
+	for _, c := range counts {
+		frac := 0.0
+		if total > 0 {
+			frac = float64(hist[c]) / float64(total)
+		}
+		s.Add(fmt.Sprintf("%d", c), float64(hist[c]), frac)
+	}
+	return s, nil
+}
+
+// Figure3 reproduces the per-attribute panels: collected tweets, spams,
+// and spammers at each of the ten sample values of every profile
+// attribute (the paper's Figures 3(a)–(k)).
+func (r *Runner) Figure3() ([]*report.Series, error) {
+	main, err := r.RunMain()
+	if err != nil {
+		return nil, err
+	}
+	byAttr := make(map[socialnet.Attribute][]*core.GroupStats)
+	for _, g := range main.Monitor.Groups() {
+		attr := g.Spec.Selector.Attr
+		if attr.Numeric() {
+			byAttr[attr] = append(byAttr[attr], g)
+		}
+	}
+	var out []*report.Series
+	for i, attr := range socialnet.ProfileAttributes {
+		groups := byAttr[attr]
+		sort.Slice(groups, func(a, b int) bool {
+			return groups[a].Spec.Selector.Value < groups[b].Spec.Selector.Value
+		})
+		s := &report.Series{
+			Title:  fmt.Sprintf("Figure 3(%c) — %s", 'a'+i, attr.String()),
+			XLabel: "sample value",
+			Cols:   []string{"tweets", "spams", "spammers"},
+		}
+		for _, g := range groups {
+			s.Add(socialnet.FormatSampleValue(g.Spec.Selector.Value),
+				float64(g.Tweets), float64(g.Spams), float64(len(g.Spammers)))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Figure4 reproduces the hashtag-category panel: tweets, spams, spammers,
+// and the spammer ratio (spammers over involved users) per category.
+func (r *Runner) Figure4() (*report.Series, error) {
+	main, err := r.RunMain()
+	if err != nil {
+		return nil, err
+	}
+	s := &report.Series{
+		Title:  "Figure 4 — hashtag-based attributes",
+		XLabel: "category",
+		Cols:   []string{"tweets", "spams", "spammers", "spammer ratio"},
+	}
+	for _, g := range main.Monitor.Groups() {
+		sel := g.Spec.Selector
+		if sel.Attr != socialnet.AttrHashtag {
+			continue
+		}
+		ratio := 0.0
+		if len(g.Senders) > 0 {
+			ratio = float64(len(g.Spammers)) / float64(len(g.Senders))
+		}
+		s.Add(sel.Category.String(),
+			float64(g.Tweets), float64(g.Spams), float64(len(g.Spammers)), ratio)
+	}
+	return s, nil
+}
+
+// Figure5 reproduces the trending-category panel: tweets, spams, spammers,
+// and the spam ratio (spams over tweets) per trend state.
+func (r *Runner) Figure5() (*report.Series, error) {
+	main, err := r.RunMain()
+	if err != nil {
+		return nil, err
+	}
+	s := &report.Series{
+		Title:  "Figure 5 — trending-based attributes",
+		XLabel: "trend",
+		Cols:   []string{"tweets", "spams", "spammers", "spam ratio"},
+	}
+	for _, g := range main.Monitor.Groups() {
+		sel := g.Spec.Selector
+		if sel.Attr != socialnet.AttrTrend {
+			continue
+		}
+		ratio := 0.0
+		if g.Tweets > 0 {
+			ratio = float64(g.Spams) / float64(g.Tweets)
+		}
+		s.Add(sel.Trend.String(),
+			float64(g.Tweets), float64(g.Spams), float64(len(g.Spammers)), ratio)
+	}
+	return s, nil
+}
+
+// Figure6 reproduces the cumulative spammer capture of the advanced
+// pseudo-honeypot vs. the random-selection baseline over the comparison
+// window (the paper reports 17,336 vs 1,850 after 100 h — 9.37×).
+func (r *Runner) Figure6() (*report.Series, error) {
+	adv, err := r.RunAdvanced()
+	if err != nil {
+		return nil, err
+	}
+	s := &report.Series{
+		Title:  "Figure 6 — spammers captured: advanced pseudo-honeypot vs non pseudo-honeypot",
+		XLabel: "hour",
+		Cols:   []string{"advanced", "random"},
+	}
+	for h := 0; h < len(adv.AdvancedByHour); h++ {
+		s.Add(fmt.Sprintf("%d", h+1),
+			float64(adv.AdvancedByHour[h]), float64(adv.RandomByHour[h]))
+	}
+	return s, nil
+}

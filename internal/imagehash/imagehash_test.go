@@ -1,0 +1,173 @@
+package imagehash
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDHashDeterministic(t *testing.T) {
+	m := Synthesize(42)
+	if DHash(m) != DHash(m) {
+		t.Fatal("DHash is not deterministic")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a, b := Synthesize(7), Synthesize(7)
+	if DHash(a) != DHash(b) {
+		t.Fatal("Synthesize with equal seeds produced different images")
+	}
+}
+
+func TestDistanceIdentityIsZero(t *testing.T) {
+	h := DHash(Synthesize(1))
+	if d := h.Distance(h); d != 0 {
+		t.Fatalf("self distance = %d, want 0", d)
+	}
+}
+
+func TestDifferentSeedsHashFarApart(t *testing.T) {
+	// Different synthetic images should (almost always) land beyond the
+	// grouping threshold. Check the average over many pairs rather than
+	// requiring every pair to be far, since perceptual hashes have rare
+	// collisions by design.
+	far := 0
+	const pairs = 100
+	for i := 0; i < pairs; i++ {
+		a := DHash(Synthesize(int64(i)))
+		b := DHash(Synthesize(int64(i + 1000)))
+		if a.Distance(b) > DefaultThreshold {
+			far++
+		}
+	}
+	if far < pairs*9/10 {
+		t.Fatalf("only %d/%d unrelated pairs beyond threshold", far, pairs)
+	}
+}
+
+func TestPerturbedImageStaysWithinThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := Synthesize(99)
+	baseHash := DHash(base)
+	within := 0
+	const variants = 50
+	for i := 0; i < variants; i++ {
+		v := Perturb(base, 40, rng)
+		if baseHash.Distance(DHash(v)) <= DefaultThreshold {
+			within++
+		}
+	}
+	if within < variants*9/10 {
+		t.Fatalf("only %d/%d perturbed variants within threshold", within, variants)
+	}
+}
+
+func TestPerturbZeroAmplitudeIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := Synthesize(5)
+	v := Perturb(base, 0, rng)
+	for i := range base.Pix {
+		if base.Pix[i] != v.Pix[i] {
+			t.Fatal("Perturb with amplitude 0 modified pixels")
+		}
+	}
+}
+
+func TestImageBoundsAccess(t *testing.T) {
+	m := NewImage(4, 4)
+	m.Set(2, 2, 100)
+	if m.At(2, 2) != 100 {
+		t.Fatal("Set/At round trip failed")
+	}
+	if m.At(-1, 0) != 0 || m.At(0, -1) != 0 || m.At(4, 0) != 0 || m.At(0, 4) != 0 {
+		t.Fatal("out-of-range At should read 0")
+	}
+	m.Set(-1, 0, 9) // must not panic
+	m.Set(9, 9, 9)
+}
+
+func TestNewImageDegenerateSizes(t *testing.T) {
+	m := NewImage(0, 5)
+	if m.W != 0 || len(m.Pix) != 0 {
+		t.Fatal("degenerate image should be empty")
+	}
+	// Hashing an empty image must not panic.
+	_ = DHash(m)
+}
+
+func TestHashString(t *testing.T) {
+	h := Hash{Hi: 0xABCD, Lo: 1}
+	want := "000000000000abcd0000000000000001"
+	if got := h.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestGrouperClustersCampaign(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := NewGrouper(DefaultThreshold)
+
+	base := Synthesize(1234)
+	campaignID := -1
+	for i := 0; i < 20; i++ {
+		id := g.Add(DHash(Perturb(base, 30, rng)))
+		if campaignID == -1 {
+			campaignID = id
+		}
+	}
+	// All campaign variants should mostly share one group.
+	if g.Len() > 3 {
+		t.Fatalf("campaign split into %d groups, want few", g.Len())
+	}
+
+	// An unrelated image should open a new group.
+	before := g.Len()
+	g.Add(DHash(Synthesize(777777)))
+	if g.Len() != before+1 {
+		t.Fatalf("unrelated image joined an existing group")
+	}
+}
+
+func TestGrouperDefaultThreshold(t *testing.T) {
+	g := NewGrouper(0)
+	if g.threshold != DefaultThreshold {
+		t.Fatalf("threshold = %d, want default %d", g.threshold, DefaultThreshold)
+	}
+}
+
+// Property: Hamming distance is a metric on the hash space — symmetric,
+// zero on identity, and satisfies the triangle inequality.
+func TestDistanceMetricProperty(t *testing.T) {
+	prop := func(a, b, c Hash) bool {
+		if a.Distance(b) != b.Distance(a) {
+			return false
+		}
+		if a.Distance(a) != 0 {
+			return false
+		}
+		return a.Distance(c) <= a.Distance(b)+b.Distance(c)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distance is bounded by 128 bits.
+func TestDistanceBoundProperty(t *testing.T) {
+	prop := func(a, b Hash) bool {
+		d := a.Distance(b)
+		return d >= 0 && d <= 128
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDHash(b *testing.B) {
+	m := Synthesize(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = DHash(m)
+	}
+}

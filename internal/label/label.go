@@ -1,0 +1,516 @@
+// Package label implements the paper's ground-truth labeling pipeline
+// (§IV-B): suspended-account checking, clustering-based labeling (profile
+// images via dHash, screen names via Σ-Seq character classes, user
+// descriptions and tweet contents via MinHash), rule-based labeling, and a
+// final manual-checking pass.
+//
+// The gated oracle of the real pipeline — Twitter's suspension list plus
+// human annotators — is replaced by a simulated Oracle that reveals
+// generative ground truth with a configurable error rate and budget
+// (DESIGN.md §2). The algorithms in between are the paper's, unchanged.
+package label
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/imagehash"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/minhash"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/textutil"
+)
+
+// Method identifies which pipeline stage produced a label (the rows of the
+// paper's Table III).
+type Method int
+
+// Labeling methods.
+const (
+	MethodSuspended Method = iota + 1
+	MethodClustering
+	MethodRule
+	MethodManual
+)
+
+// Methods lists the stages in pipeline order.
+var Methods = []Method{MethodSuspended, MethodClustering, MethodRule, MethodManual}
+
+func (m Method) String() string {
+	switch m {
+	case MethodSuspended:
+		return "Suspended"
+	case MethodClustering:
+		return "Clustering"
+	case MethodRule:
+		return "Rule Based"
+	case MethodManual:
+		return "Human Labeling"
+	default:
+		return "unknown"
+	}
+}
+
+// Corpus is the monitored data handed to the pipeline: collected tweets and
+// the profiles of every involved user.
+type Corpus struct {
+	Tweets []*socialnet.Tweet
+	Users  map[socialnet.AccountID]*socialnet.Account
+}
+
+// NewCorpus builds a corpus from tweets, resolving user profiles through
+// lookup (nil profiles are skipped).
+func NewCorpus(tweets []*socialnet.Tweet, lookup func(socialnet.AccountID) *socialnet.Account) *Corpus {
+	c := &Corpus{
+		Tweets: tweets,
+		Users:  make(map[socialnet.AccountID]*socialnet.Account),
+	}
+	for _, t := range tweets {
+		if _, ok := c.Users[t.AuthorID]; !ok {
+			if a := lookup(t.AuthorID); a != nil {
+				c.Users[t.AuthorID] = a
+			}
+		}
+	}
+	return c
+}
+
+// Oracle answers ground-truth queries during the manual-checking stage.
+type Oracle interface {
+	// TweetIsSpam reveals whether a tweet is spam.
+	TweetIsSpam(t *socialnet.Tweet) bool
+	// UserIsSpammer reveals whether an account is a spammer.
+	UserIsSpammer(id socialnet.AccountID) bool
+}
+
+// Result holds the pipeline output: per-tweet and per-user labels with the
+// method that produced them.
+type Result struct {
+	// SpamTweets and HamTweets map labeled tweets to their method.
+	// Unlabeled tweets are treated as non-spam in the final dataset, as
+	// in the paper.
+	SpamTweets map[socialnet.TweetID]Method
+	HamTweets  map[socialnet.TweetID]Method
+
+	// Spammers and Benign map labeled users to their method.
+	Spammers map[socialnet.AccountID]Method
+	Benign   map[socialnet.AccountID]Method
+
+	// ManualChecks counts oracle queries spent by the manual stage.
+	ManualChecks int
+}
+
+// MethodCount is one Table III row: labels attributed to a method.
+type MethodCount struct {
+	Method   Method
+	Spams    int
+	Spammers int
+}
+
+// Counts aggregates Table III rows in pipeline order.
+func (r *Result) Counts() []MethodCount {
+	counts := make([]MethodCount, len(Methods))
+	for i, m := range Methods {
+		counts[i].Method = m
+	}
+	idx := func(m Method) int { return int(m) - 1 }
+	for _, m := range r.SpamTweets {
+		counts[idx(m)].Spams++
+	}
+	for _, m := range r.Spammers {
+		counts[idx(m)].Spammers++
+	}
+	return counts
+}
+
+// TotalSpams returns the number of tweets labeled spam.
+func (r *Result) TotalSpams() int { return len(r.SpamTweets) }
+
+// TotalSpammers returns the number of users labeled spammer.
+func (r *Result) TotalSpammers() int { return len(r.Spammers) }
+
+// IsSpam reports the final label of a tweet (unlabeled ⇒ non-spam).
+func (r *Result) IsSpam(id socialnet.TweetID) bool {
+	_, ok := r.SpamTweets[id]
+	return ok
+}
+
+// Config parameterizes the pipeline.
+type Config struct {
+	// Seed drives the manual stage's sampling.
+	Seed int64
+
+	// ImageHammingThreshold groups profile images (default 5, paper).
+	ImageHammingThreshold int
+
+	// NameGroupMin is the minimum Σ-Seq group size kept (default 5, paper).
+	NameGroupMin int
+
+	// DescSimilarity is the MinHash similarity above which two user
+	// descriptions are considered identical (default 0.85).
+	DescSimilarity float64
+
+	// TweetSimilarity is the near-duplicate threshold for tweet contents
+	// (default 0.7).
+	TweetSimilarity float64
+
+	// TweetWindow is the near-duplicate time window (default 24h, paper).
+	TweetWindow time.Duration
+
+	// MinTweetLen filters short tweets from duplicate checking
+	// (default 20 chars, paper).
+	MinTweetLen int
+
+	// RepeatThreshold is the rule-based repetition cutoff: a normalized
+	// text occurring at least this many times is repetitive (default 3).
+	RepeatThreshold int
+
+	// ManualBudget bounds oracle queries spent labeling *unlabeled*
+	// tweets (the verification of already-labeled data is additional).
+	// Zero means a tenth of the corpus.
+	ManualBudget int
+}
+
+// DefaultConfig returns the paper's thresholds.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                  1,
+		ImageHammingThreshold: imagehash.DefaultThreshold,
+		NameGroupMin:          5,
+		DescSimilarity:        0.85,
+		TweetSimilarity:       0.75,
+		TweetWindow:           24 * time.Hour,
+		MinTweetLen:           20,
+		RepeatThreshold:       3,
+	}
+}
+
+// Pipeline runs the four-stage labeling process.
+type Pipeline struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// NewPipeline creates a pipeline with cfg (zero-value fields fall back to
+// DefaultConfig values).
+func NewPipeline(cfg Config) *Pipeline {
+	def := DefaultConfig()
+	if cfg.ImageHammingThreshold <= 0 {
+		cfg.ImageHammingThreshold = def.ImageHammingThreshold
+	}
+	if cfg.NameGroupMin <= 0 {
+		cfg.NameGroupMin = def.NameGroupMin
+	}
+	if cfg.DescSimilarity <= 0 {
+		cfg.DescSimilarity = def.DescSimilarity
+	}
+	if cfg.TweetSimilarity <= 0 {
+		cfg.TweetSimilarity = def.TweetSimilarity
+	}
+	if cfg.TweetWindow <= 0 {
+		cfg.TweetWindow = def.TweetWindow
+	}
+	if cfg.MinTweetLen <= 0 {
+		cfg.MinTweetLen = def.MinTweetLen
+	}
+	if cfg.RepeatThreshold <= 0 {
+		cfg.RepeatThreshold = def.RepeatThreshold
+	}
+	return &Pipeline{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Run labels the corpus: suspended accounts, clustering, rules, then
+// manual checking against the oracle.
+func (p *Pipeline) Run(c *Corpus, oracle Oracle) *Result {
+	r := &Result{
+		SpamTweets: make(map[socialnet.TweetID]Method),
+		HamTweets:  make(map[socialnet.TweetID]Method),
+		Spammers:   make(map[socialnet.AccountID]Method),
+		Benign:     make(map[socialnet.AccountID]Method),
+	}
+	p.labelSuspended(c, r)
+	p.labelClustering(c, r)
+	p.labelRules(c, r)
+	p.manualCheck(c, r, oracle)
+	return r
+}
+
+// labelSuspended marks platform-suspended users as spammers and their
+// tweets as spam. Suspensions are a noisy oracle (false suspensions exist);
+// the manual stage cleans them later.
+func (p *Pipeline) labelSuspended(c *Corpus, r *Result) {
+	for id, u := range c.Users {
+		if u.Suspended {
+			r.Spammers[id] = MethodSuspended
+		}
+	}
+	for _, t := range c.Tweets {
+		if _, ok := r.Spammers[t.AuthorID]; ok {
+			r.SpamTweets[t.ID] = MethodSuspended
+		}
+	}
+}
+
+// labelClustering groups users by profile image, screen-name shape, and
+// description, groups tweets by near-duplicate content, and propagates
+// spammer labels through the groups (paper §IV-B, clustering method).
+func (p *Pipeline) labelClustering(c *Corpus, r *Result) {
+	userGroups := p.clusterUsers(c)
+	tweetGroups := p.clusterTweets(c)
+
+	// Propagate to fixpoint so the result is independent of group order:
+	// tweet groups feed user groups and back until nothing changes.
+	for {
+		changed := false
+		for _, group := range userGroups {
+			spammy := false
+			for _, id := range group {
+				if _, ok := r.Spammers[id]; ok {
+					spammy = true
+					break
+				}
+			}
+			if !spammy {
+				continue
+			}
+			for _, id := range group {
+				if _, ok := r.Spammers[id]; !ok {
+					r.Spammers[id] = MethodClustering
+					changed = true
+				}
+			}
+		}
+		for _, group := range tweetGroups {
+			spammy := false
+			for _, t := range group {
+				if _, isSpam := r.SpamTweets[t.ID]; isSpam {
+					spammy = true
+					break
+				}
+				if _, isSpammer := r.Spammers[t.AuthorID]; isSpammer {
+					spammy = true
+					break
+				}
+			}
+			if !spammy {
+				continue
+			}
+			for _, t := range group {
+				if _, ok := r.SpamTweets[t.ID]; !ok {
+					r.SpamTweets[t.ID] = MethodClustering
+					changed = true
+				}
+				if _, ok := r.Spammers[t.AuthorID]; !ok {
+					r.Spammers[t.AuthorID] = MethodClustering
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// sortedUserIDs returns the corpus user ids in ascending order, so every
+// clustering pass is deterministic regardless of map iteration order.
+func sortedUserIDs(c *Corpus) []socialnet.AccountID {
+	ids := make([]socialnet.AccountID, 0, len(c.Users))
+	for id := range c.Users {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// clusterUsers returns user groups from the three profile clusterings.
+func (p *Pipeline) clusterUsers(c *Corpus) [][]socialnet.AccountID {
+	var groups [][]socialnet.AccountID
+	ids := sortedUserIDs(c)
+
+	// 1. Profile images via dHash + Hamming threshold.
+	imgGrouper := imagehash.NewGrouper(p.cfg.ImageHammingThreshold)
+	imgGroups := make(map[int][]socialnet.AccountID)
+	var imgOrder []int
+	for _, id := range ids {
+		u := c.Users[id]
+		if u.DefaultProfileImage {
+			continue // default eggs carry no campaign signal
+		}
+		g := imgGrouper.Add(u.ProfileImageHash)
+		if len(imgGroups[g]) == 0 {
+			imgOrder = append(imgOrder, g)
+		}
+		imgGroups[g] = append(imgGroups[g], id)
+	}
+	for _, gi := range imgOrder {
+		if g := imgGroups[gi]; len(g) >= 2 {
+			groups = append(groups, g)
+		}
+	}
+
+	// 2. Screen-name Σ-Seq groups with at least NameGroupMin members.
+	// Two hygiene rules keep the false-positive rate low (the paper's
+	// regex-learned patterns are similarly specific): a usable shape must
+	// mix at least two character classes, and a shape shared by a large
+	// fraction of the corpus carries no campaign signal.
+	nameGroups := make(map[string][]socialnet.AccountID)
+	var nameOrder []string
+	for _, id := range ids {
+		seq := textutil.ClassSeqWithRunLengths(c.Users[id].ScreenName)
+		if len(nameGroups[seq]) == 0 {
+			nameOrder = append(nameOrder, seq)
+		}
+		nameGroups[seq] = append(nameGroups[seq], id)
+	}
+	maxNameGroup := len(c.Users) / 50
+	if maxNameGroup < 2*p.cfg.NameGroupMin {
+		maxNameGroup = 2 * p.cfg.NameGroupMin
+	}
+	for _, seq := range nameOrder {
+		g := nameGroups[seq]
+		if len(g) < p.cfg.NameGroupMin || len(g) > maxNameGroup {
+			continue
+		}
+		if classCount(seq) < 2 {
+			continue
+		}
+		groups = append(groups, g)
+	}
+
+	// 3. Near-duplicate descriptions via MinHash.
+	var descIDs []socialnet.AccountID
+	var texts []string
+	for _, id := range ids {
+		norm := textutil.NormalizeDescription(c.Users[id].Description)
+		if norm == "" {
+			continue
+		}
+		descIDs = append(descIDs, id)
+		texts = append(texts, norm)
+	}
+	for _, g := range clusterTexts(texts, p.cfg.DescSimilarity, p.cfg.Seed) {
+		if len(g) < 2 {
+			continue
+		}
+		group := make([]socialnet.AccountID, len(g))
+		for i, idx := range g {
+			group[i] = descIDs[idx]
+		}
+		groups = append(groups, group)
+	}
+	return groups
+}
+
+// clusterTweets returns near-duplicate tweet groups within the time window.
+func (p *Pipeline) clusterTweets(c *Corpus) [][]*socialnet.Tweet {
+	var pool []*socialnet.Tweet
+	var texts []string
+	for _, t := range c.Tweets {
+		norm := textutil.NormalizeDescription(stripMentions(t.Text))
+		if len(norm) < p.cfg.MinTweetLen {
+			continue
+		}
+		pool = append(pool, t)
+		texts = append(texts, norm)
+	}
+	var groups [][]*socialnet.Tweet
+	for _, g := range clusterTexts(texts, p.cfg.TweetSimilarity, p.cfg.Seed+1) {
+		if len(g) < 2 {
+			continue
+		}
+		// Enforce the 1-day window: split the group into time buckets.
+		byWindow := make(map[int64][]*socialnet.Tweet)
+		for _, idx := range g {
+			t := pool[idx]
+			bucket := t.CreatedAt.UnixNano() / int64(p.cfg.TweetWindow)
+			byWindow[bucket] = append(byWindow[bucket], t)
+		}
+		for _, tg := range byWindow {
+			if len(tg) >= 2 {
+				groups = append(groups, tg)
+			}
+		}
+	}
+	return groups
+}
+
+// clusterTexts groups near-duplicate texts via MinHash banding + union-find
+// confirmation, returning groups of indices into texts.
+func clusterTexts(texts []string, simThreshold float64, seed int64) [][]int {
+	if len(texts) == 0 {
+		return nil
+	}
+	const (
+		bands = 16
+		rows  = 4
+	)
+	scheme := minhash.NewScheme(bands*rows, rand.New(rand.NewSource(seed)))
+	index := minhash.NewIndex(bands, rows)
+	parent := make([]int, len(texts))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	sigs := make([]minhash.Signature, len(texts))
+	for i, txt := range texts {
+		sigs[i] = scheme.Sign(textutil.Shingles(txt, 3))
+		for _, cand := range index.Candidates(sigs[i]) {
+			if minhash.Similarity(sigs[i], sigs[cand]) >= simThreshold {
+				union(i, cand)
+			}
+		}
+		index.Add(sigs[i])
+	}
+	groupsByRoot := make(map[int][]int)
+	var rootOrder []int
+	for i := range texts {
+		root := find(i)
+		if len(groupsByRoot[root]) == 0 {
+			rootOrder = append(rootOrder, root)
+		}
+		groupsByRoot[root] = append(groupsByRoot[root], i)
+	}
+	// Deterministic group order: first-appearance order of each root.
+	groups := make([][]int, 0, len(groupsByRoot))
+	for _, root := range rootOrder {
+		groups = append(groups, groupsByRoot[root])
+	}
+	return groups
+}
+
+// classCount counts the distinct character classes in a Σ-Seq key
+// (run-length digits excluded).
+func classCount(seq string) int {
+	seen := make(map[rune]struct{}, 4)
+	for _, r := range seq {
+		if r >= '0' && r <= '9' {
+			continue
+		}
+		seen[r] = struct{}{}
+	}
+	return len(seen)
+}
+
+// stripMentions removes @name tokens so near-duplicate checking compares
+// the spam payload, not the victim names.
+func stripMentions(s string) string {
+	fields := strings.Fields(s)
+	out := fields[:0]
+	for _, f := range fields {
+		if strings.HasPrefix(f, "@") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return strings.Join(out, " ")
+}

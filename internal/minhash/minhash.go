@@ -1,0 +1,189 @@
+// Package minhash implements MinHash signatures over shingle sets, used by
+// the labeling pipeline to find near-duplicate user descriptions
+// (paper §IV-B). Two descriptions are considered identical when the minimum
+// hash values of their tri-gram shinglings agree, and an LSH banding index
+// provides scalable candidate-pair generation for larger corpora.
+package minhash
+
+import (
+	"hash/fnv"
+	"math"
+	"math/bits"
+	"math/rand"
+)
+
+// Signature is a fixed-length vector of minimum hash values.
+type Signature []uint64
+
+// Scheme holds the per-permutation hash parameters for computing
+// signatures. All signatures compared against each other must come from the
+// same Scheme.
+type Scheme struct {
+	a, b []uint64
+}
+
+const _mersenne61 = (1 << 61) - 1
+
+// NewScheme creates a Scheme with n hash permutations drawn from rng.
+// n must be positive; values below 1 are raised to 1.
+func NewScheme(n int, rng *rand.Rand) *Scheme {
+	if n < 1 {
+		n = 1
+	}
+	s := &Scheme{
+		a: make([]uint64, n),
+		b: make([]uint64, n),
+	}
+	for i := 0; i < n; i++ {
+		// a must be non-zero for the permutation family to be valid.
+		s.a[i] = rng.Uint64()%(_mersenne61-1) + 1
+		s.b[i] = rng.Uint64() % _mersenne61
+	}
+	return s
+}
+
+// Size returns the signature length produced by the scheme.
+func (s *Scheme) Size() int { return len(s.a) }
+
+// Sign computes the MinHash signature of the shingle set. An empty set
+// yields a signature of all math.MaxUint64, which matches only other empty
+// sets.
+func (s *Scheme) Sign(shingles []string) Signature {
+	sig := make(Signature, len(s.a))
+	for i := range sig {
+		sig[i] = math.MaxUint64
+	}
+	for _, sh := range shingles {
+		h := baseHash(sh)
+		for i := range s.a {
+			v := permute(h, s.a[i], s.b[i])
+			if v < sig[i] {
+				sig[i] = v
+			}
+		}
+	}
+	return sig
+}
+
+// baseHash maps a shingle to a 64-bit integer via FNV-1a.
+func baseHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// permute applies the universal hash (a*x + b) mod p with p = 2^61 - 1.
+func permute(x, a, b uint64) uint64 {
+	// Split multiplication to stay within uint64 without overflowing the
+	// modulus arithmetic: reduce x first.
+	x %= _mersenne61
+	hi, lo := bits.Mul64(a, x)
+	// Fold the 128-bit product modulo 2^61-1: (hi*2^64 + lo) mod p, using
+	// 2^64 ≡ 8 (mod 2^61 - 1).
+	r := (hi%_mersenne61)*8%_mersenne61 + lo%_mersenne61
+	r %= _mersenne61
+	r = (r + b) % _mersenne61
+	return r
+}
+
+// Similarity estimates the Jaccard similarity of the sets behind two
+// signatures as the fraction of agreeing components. Signatures of unequal
+// length have similarity 0.
+func Similarity(a, b Signature) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	agree := 0
+	for i := range a {
+		if a[i] == b[i] {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(a))
+}
+
+// Index is an LSH banding index over signatures. Signatures whose bands
+// collide become candidate near-duplicates; the caller confirms candidates
+// with Similarity or exact comparison.
+type Index struct {
+	bands   int
+	rows    int
+	buckets []map[string][]int
+	sigs    []Signature
+}
+
+// NewIndex creates an index for signatures of length bands*rows.
+func NewIndex(bands, rows int) *Index {
+	if bands < 1 {
+		bands = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	buckets := make([]map[string][]int, bands)
+	for i := range buckets {
+		buckets[i] = make(map[string][]int)
+	}
+	return &Index{bands: bands, rows: rows, buckets: buckets}
+}
+
+// Add inserts sig and returns its id within the index.
+func (ix *Index) Add(sig Signature) int {
+	id := len(ix.sigs)
+	ix.sigs = append(ix.sigs, sig)
+	for b := 0; b < ix.bands; b++ {
+		key := ix.bandKey(sig, b)
+		ix.buckets[b][key] = append(ix.buckets[b][key], id)
+	}
+	return id
+}
+
+// Candidates returns the ids of previously added signatures sharing at
+// least one band with sig, excluding ids ≥ limit (pass len after Add to
+// include everything). Each id appears once.
+func (ix *Index) Candidates(sig Signature) []int {
+	seen := make(map[int]struct{})
+	var out []int
+	for b := 0; b < ix.bands; b++ {
+		key := ix.bandKey(sig, b)
+		for _, id := range ix.buckets[b][key] {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Signature returns the stored signature for id.
+func (ix *Index) Signature(id int) Signature {
+	if id < 0 || id >= len(ix.sigs) {
+		return nil
+	}
+	return ix.sigs[id]
+}
+
+// Len returns the number of signatures stored.
+func (ix *Index) Len() int { return len(ix.sigs) }
+
+func (ix *Index) bandKey(sig Signature, band int) string {
+	start := band * ix.rows
+	end := start + ix.rows
+	if start >= len(sig) {
+		return ""
+	}
+	if end > len(sig) {
+		end = len(sig)
+	}
+	// Encode the band values compactly; collisions across different
+	// value sequences are negligible for 8-byte encodings.
+	buf := make([]byte, 0, (end-start)*8)
+	for _, v := range sig[start:end] {
+		for shift := 0; shift < 64; shift += 8 {
+			buf = append(buf, byte(v>>uint(shift)))
+		}
+	}
+	return string(buf)
+}

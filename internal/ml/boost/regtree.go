@@ -1,0 +1,127 @@
+package boost
+
+import "sort"
+
+// regTree is a regression tree fit to gradient/hessian pairs with
+// variance-reduction splits and Newton leaf values, as in XGBoost-style
+// boosting.
+type regTree struct {
+	maxDepth int
+	minLeaf  int
+	root     *regNode
+}
+
+type regNode struct {
+	feature   int
+	threshold float64
+	left      *regNode
+	right     *regNode
+	leaf      bool
+	value     float64
+}
+
+func (t *regTree) fit(x [][]float64, grad, hess []float64, idx []int) {
+	t.root = t.grow(x, grad, hess, idx, 0)
+}
+
+func (t *regTree) predict(x []float64) float64 {
+	n := t.root
+	if n == nil {
+		return 0
+	}
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+func (t *regTree) grow(x [][]float64, grad, hess []float64, idx []int, depth int) *regNode {
+	if depth >= t.maxDepth || len(idx) < 2*t.minLeaf {
+		return t.leafNode(grad, hess, idx)
+	}
+	feature, threshold, ok := t.bestSplit(x, grad, idx)
+	if !ok {
+		return t.leafNode(grad, hess, idx)
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.minLeaf || len(right) < t.minLeaf {
+		return t.leafNode(grad, hess, idx)
+	}
+	return &regNode{
+		feature:   feature,
+		threshold: threshold,
+		left:      t.grow(x, grad, hess, left, depth+1),
+		right:     t.grow(x, grad, hess, right, depth+1),
+	}
+}
+
+// leafNode takes the Newton step Σg / (Σh + ε).
+func (t *regTree) leafNode(grad, hess []float64, idx []int) *regNode {
+	const eps = 1e-9
+	var g, h float64
+	for _, i := range idx {
+		g += grad[i]
+		h += hess[i]
+	}
+	return &regNode{leaf: true, value: g / (h + eps)}
+}
+
+// bestSplit maximizes the reduction in gradient variance (equivalently the
+// gain of the squared-gradient-sum criterion).
+func (t *regTree) bestSplit(x [][]float64, grad []float64, idx []int) (int, float64, bool) {
+	if len(idx) == 0 {
+		return 0, 0, false
+	}
+	d := len(x[0])
+	type pair struct {
+		v, g float64
+	}
+	pairs := make([]pair, len(idx))
+
+	totalG := 0.0
+	for _, i := range idx {
+		totalG += grad[i]
+	}
+	n := float64(len(idx))
+	baseScore := totalG * totalG / n
+
+	bestGain := 1e-12
+	bestFeature, bestThreshold := -1, 0.0
+	for f := 0; f < d; f++ {
+		for k, i := range idx {
+			pairs[k] = pair{v: x[i][f], g: grad[i]}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+		leftG := 0.0
+		for k := 0; k < len(pairs)-1; k++ {
+			leftG += pairs[k].g
+			if pairs[k].v == pairs[k+1].v {
+				continue
+			}
+			leftN := float64(k + 1)
+			rightN := n - leftN
+			rightG := totalG - leftG
+			gain := leftG*leftG/leftN + rightG*rightG/rightN - baseScore
+			if gain > bestGain {
+				bestGain = gain
+				bestFeature = f
+				bestThreshold = (pairs[k].v + pairs[k+1].v) / 2
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return 0, 0, false
+	}
+	return bestFeature, bestThreshold, true
+}

@@ -1,0 +1,134 @@
+// Package forest implements a random forest classifier: bootstrap-sampled
+// CART trees with per-split random feature subsets and majority voting.
+// The paper deploys this model in the pseudo-honeypot detector, configured
+// with 70 trees of maximum depth 700 (§V-C).
+package forest
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/tree"
+)
+
+// Config holds random-forest hyperparameters.
+type Config struct {
+	// Trees is the ensemble size (the paper uses 70).
+	Trees int
+	// MaxDepth bounds each tree (the paper uses 700, effectively
+	// unbounded at these dataset sizes).
+	MaxDepth int
+	// MinLeaf is the per-tree minimum leaf size.
+	MinLeaf int
+	// MaxFeatures per split; non-positive selects √d.
+	MaxFeatures int
+	// Seed drives bootstrap sampling and feature subsets.
+	Seed int64
+}
+
+// PaperConfig returns the configuration the paper deploys: 70 trees with a
+// maximum depth of 700.
+func PaperConfig() Config {
+	return Config{Trees: 70, MaxDepth: 700, Seed: 1}
+}
+
+// Forest is a trained random forest.
+type Forest struct {
+	cfg   Config
+	trees []*tree.Tree
+}
+
+// New creates an untrained forest.
+func New(cfg Config) *Forest {
+	if cfg.Trees <= 0 {
+		cfg.Trees = 70
+	}
+	if cfg.MinLeaf < 1 {
+		cfg.MinLeaf = 1
+	}
+	return &Forest{cfg: cfg}
+}
+
+// Fit trains the ensemble.
+func (f *Forest) Fit(x [][]float64, y []bool) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("forest: empty or mismatched training data")
+	}
+	maxFeatures := f.cfg.MaxFeatures
+	if maxFeatures <= 0 {
+		maxFeatures = int(math.Sqrt(float64(len(x[0]))))
+		if maxFeatures < 1 {
+			maxFeatures = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(f.cfg.Seed))
+	f.trees = make([]*tree.Tree, f.cfg.Trees)
+
+	n := len(x)
+	bx := make([][]float64, n)
+	by := make([]bool, n)
+	for ti := range f.trees {
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i] = x[j]
+			by[i] = y[j]
+		}
+		t := tree.New(tree.Config{
+			MaxDepth:    f.cfg.MaxDepth,
+			MinLeaf:     f.cfg.MinLeaf,
+			MaxFeatures: maxFeatures,
+			Seed:        rng.Int63(),
+		})
+		if err := t.Fit(bx, by); err != nil {
+			return err
+		}
+		f.trees[ti] = t
+	}
+	return nil
+}
+
+// Predict returns the majority vote.
+func (f *Forest) Predict(x []float64) bool {
+	votes := 0
+	for _, t := range f.trees {
+		if t.Predict(x) {
+			votes++
+		}
+	}
+	return votes*2 > len(f.trees)
+}
+
+// FeatureImportance returns the normalized mean decrease in Gini impurity
+// per feature across the ensemble (values sum to 1 when any splits exist).
+// d is the feature dimensionality.
+func (f *Forest) FeatureImportance(d int) []float64 {
+	imp := make([]float64, d)
+	for _, t := range f.trees {
+		t.FeatureImportance(imp)
+	}
+	total := 0.0
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+// PredictProba returns the fraction of trees voting spam.
+func (f *Forest) PredictProba(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	votes := 0
+	for _, t := range f.trees {
+		if t.Predict(x) {
+			votes++
+		}
+	}
+	return float64(votes) / float64(len(f.trees))
+}

@@ -1,0 +1,176 @@
+package forest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// noisyData is a two-informative-feature task with label noise, where
+// ensembling visibly beats single trees.
+func noisyData(n int, seed int64) ([][]float64, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	var x [][]float64
+	var y []bool
+	for i := 0; i < n; i++ {
+		a := rng.NormFloat64()
+		b := rng.NormFloat64()
+		noise1 := rng.NormFloat64()
+		noise2 := rng.NormFloat64()
+		pos := a+b > 0.5
+		if rng.Float64() < 0.08 {
+			pos = !pos
+		}
+		x = append(x, []float64{a, b, noise1, noise2})
+		y = append(y, pos)
+	}
+	return x, y
+}
+
+func TestForestLearnsNoisyTask(t *testing.T) {
+	x, y := noisyData(800, 1)
+	f := New(Config{Trees: 40, Seed: 1})
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	tx, ty := noisyData(400, 2)
+	correct := 0
+	for i := range tx {
+		if f.Predict(tx[i]) == ty[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(tx)); acc < 0.85 {
+		t.Fatalf("test accuracy %v", acc)
+	}
+}
+
+func TestForestDeterministicForSeed(t *testing.T) {
+	x, y := noisyData(300, 3)
+	fit := func() *Forest {
+		f := New(Config{Trees: 15, Seed: 9})
+		if err := f.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	a, b := fit(), fit()
+	probe, _ := noisyData(50, 4)
+	for _, p := range probe {
+		if a.Predict(p) != b.Predict(p) {
+			t.Fatal("same-seed forests disagree")
+		}
+	}
+}
+
+func TestForestSeedChangesModel(t *testing.T) {
+	x, y := noisyData(300, 3)
+	a := New(Config{Trees: 15, Seed: 1})
+	b := New(Config{Trees: 15, Seed: 2})
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	probe, _ := noisyData(200, 5)
+	diff := 0
+	for _, p := range probe {
+		if a.PredictProba(p) != b.PredictProba(p) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical vote distributions")
+	}
+}
+
+func TestForestPredictProbaBounds(t *testing.T) {
+	x, y := noisyData(300, 3)
+	f := New(Config{Trees: 15, Seed: 1})
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	probe, _ := noisyData(100, 6)
+	for _, p := range probe {
+		proba := f.PredictProba(p)
+		if proba < 0 || proba > 1 {
+			t.Fatalf("proba %v out of [0,1]", proba)
+		}
+		if (proba > 0.5) != f.Predict(p) {
+			t.Fatal("Predict disagrees with PredictProba majority")
+		}
+	}
+}
+
+func TestForestPredictProbaUnfitted(t *testing.T) {
+	f := New(Config{})
+	if got := f.PredictProba([]float64{1}); got != 0 {
+		t.Fatalf("unfitted proba = %v", got)
+	}
+}
+
+func TestForestEmptyFitErrors(t *testing.T) {
+	f := New(Config{})
+	if err := f.Fit(nil, nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+	if err := f.Fit([][]float64{{1}}, []bool{true, false}); err == nil {
+		t.Fatal("mismatched fit accepted")
+	}
+}
+
+func TestForestDefaults(t *testing.T) {
+	f := New(Config{Trees: -1})
+	if f.cfg.Trees != 70 {
+		t.Fatalf("default trees = %d, want 70", f.cfg.Trees)
+	}
+	cfg := PaperConfig()
+	if cfg.Trees != 70 || cfg.MaxDepth != 700 {
+		t.Fatalf("paper config = %+v, want 70 trees depth 700", cfg)
+	}
+}
+
+func TestForestPureLabels(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []bool{true, true, true, true}
+	f := New(Config{Trees: 5, Seed: 1})
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Predict([]float64{2.5}) {
+		t.Fatal("pure-positive forest predicted negative")
+	}
+}
+
+func TestFeatureImportanceIdentifiesSignal(t *testing.T) {
+	// Features 0 and 1 carry all the signal; 2 and 3 are noise.
+	x, y := noisyData(600, 7)
+	f := New(Config{Trees: 30, Seed: 1})
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := f.FeatureImportance(4)
+	sum := 0.0
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatalf("negative importance: %v", imp)
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("importances sum to %v, want 1", sum)
+	}
+	if imp[0]+imp[1] < imp[2]+imp[3] {
+		t.Fatalf("noise features outrank signal: %v", imp)
+	}
+}
+
+func TestFeatureImportanceUnfitted(t *testing.T) {
+	f := New(Config{})
+	imp := f.FeatureImportance(3)
+	for _, v := range imp {
+		if v != 0 {
+			t.Fatal("unfitted forest has non-zero importance")
+		}
+	}
+}

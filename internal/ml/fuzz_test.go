@@ -1,0 +1,32 @@
+package ml
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV ensures arbitrary input never panics the dataset loader and
+// that anything it accepts round-trips through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("f0,f1,label\n1,2,1\n3,4,0\n")
+	f.Add("label\n1\n")
+	f.Add("")
+	f.Add("f0,label\nNaN,1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if err := d.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted dataset fails to write: %v", err)
+		}
+		back, err := ReadCSV(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.Len() != d.Len() {
+			t.Fatalf("round trip changed size: %d vs %d", back.Len(), d.Len())
+		}
+	})
+}

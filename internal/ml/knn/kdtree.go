@@ -1,0 +1,69 @@
+package knn
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// kdNode is one node of a kd-tree over standardized training points.
+type kdNode struct {
+	point []float64
+	pos   bool
+	axis  int
+	left  *kdNode
+	right *kdNode
+}
+
+// buildKD constructs a kd-tree by median splits. idx is mutated.
+func buildKD(points [][]float64, labels []bool, idx []int, depth int) *kdNode {
+	if len(idx) == 0 {
+		return nil
+	}
+	d := len(points[idx[0]])
+	axis := depth % d
+	sort.Slice(idx, func(a, b int) bool {
+		return points[idx[a]][axis] < points[idx[b]][axis]
+	})
+	mid := len(idx) / 2
+	n := &kdNode{
+		point: points[idx[mid]],
+		pos:   labels[idx[mid]],
+		axis:  axis,
+	}
+	n.left = buildKD(points, labels, idx[:mid], depth+1)
+	n.right = buildKD(points, labels, idx[mid+1:], depth+1)
+	return n
+}
+
+// search walks the tree collecting the k nearest neighbours of q into h.
+func (n *kdNode) search(q []float64, k int, h *neighbourHeap) {
+	if n == nil {
+		return
+	}
+	d := sqDist(q, n.point)
+	if h.Len() < k {
+		heap.Push(h, neighbour{dist: d, pos: n.pos})
+	} else if d < (*h)[0].dist {
+		(*h)[0] = neighbour{dist: d, pos: n.pos}
+		heap.Fix(h, 0)
+	}
+
+	var qv, pv float64
+	if n.axis < len(q) {
+		qv = q[n.axis]
+	}
+	if n.axis < len(n.point) {
+		pv = n.point[n.axis]
+	}
+	diff := qv - pv
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = n.right, n.left
+	}
+	near.search(q, k, h)
+	// Prune the far side unless the splitting plane is within the current
+	// worst distance.
+	if h.Len() < k || diff*diff < (*h)[0].dist {
+		far.search(q, k, h)
+	}
+}

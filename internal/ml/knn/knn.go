@@ -1,0 +1,134 @@
+// Package knn implements a k-nearest-neighbours classifier with Euclidean
+// distance over standardized features — one of the paper's five compared
+// detectors.
+package knn
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml"
+)
+
+// Config holds kNN hyperparameters.
+type Config struct {
+	// K is the neighbourhood size (default 5).
+	K int
+	// MaxTrain caps the stored training set by uniform subsampling;
+	// non-positive keeps everything.
+	MaxTrain int
+	// Seed drives the MaxTrain subsampling.
+	Seed int64
+	// LinearScan forces brute-force search instead of the kd-tree.
+	// The kd-tree wins at low dimensionality; at the detector's 58
+	// dimensions pruning is weak, so both paths are kept and the tests
+	// verify they agree exactly.
+	LinearScan bool
+}
+
+// KNN is a trained classifier.
+type KNN struct {
+	cfg    Config
+	scaler *ml.Standardizer
+	x      [][]float64
+	y      []bool
+	tree   *kdNode
+}
+
+// New creates an untrained kNN classifier.
+func New(cfg Config) *KNN {
+	if cfg.K <= 0 {
+		cfg.K = 5
+	}
+	return &KNN{cfg: cfg}
+}
+
+// Fit stores (a possibly subsampled copy of) the standardized training set.
+func (k *KNN) Fit(x [][]float64, y []bool) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("knn: empty or mismatched training data")
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	if k.cfg.MaxTrain > 0 && len(idx) > k.cfg.MaxTrain {
+		rng := rand.New(rand.NewSource(k.cfg.Seed))
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		idx = idx[:k.cfg.MaxTrain]
+	}
+	k.scaler = ml.FitStandardizer(x)
+	k.x = make([][]float64, len(idx))
+	k.y = make([]bool, len(idx))
+	for i, j := range idx {
+		k.x[i] = k.scaler.Transform(x[j])
+		k.y[i] = y[j]
+	}
+	if !k.cfg.LinearScan {
+		order := make([]int, len(k.x))
+		for i := range order {
+			order[i] = i
+		}
+		k.tree = buildKD(k.x, k.y, order, 0)
+	}
+	return nil
+}
+
+// neighbour heap keeps the K closest points (max-heap on distance).
+type neighbour struct {
+	dist float64
+	pos  bool
+}
+
+type neighbourHeap []neighbour
+
+func (h neighbourHeap) Len() int           { return len(h) }
+func (h neighbourHeap) Less(i, j int) bool { return h[i].dist > h[j].dist }
+func (h neighbourHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *neighbourHeap) Push(v any)        { *h = append(*h, v.(neighbour)) }
+func (h *neighbourHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// Predict returns the majority label among the K nearest neighbours.
+func (k *KNN) Predict(x []float64) bool {
+	if len(k.x) == 0 {
+		return false
+	}
+	q := k.scaler.Transform(x)
+	h := make(neighbourHeap, 0, k.cfg.K+1)
+	if k.tree != nil {
+		k.tree.search(q, k.cfg.K, &h)
+	} else {
+		for i, p := range k.x {
+			d := sqDist(q, p)
+			if len(h) < k.cfg.K {
+				heap.Push(&h, neighbour{dist: d, pos: k.y[i]})
+				continue
+			}
+			if d < h[0].dist {
+				h[0] = neighbour{dist: d, pos: k.y[i]}
+				heap.Fix(&h, 0)
+			}
+		}
+	}
+	pos := 0
+	for _, n := range h {
+		if n.pos {
+			pos++
+		}
+	}
+	return pos*2 > len(h)
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,198 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// twoBlobs is a linearly separated two-cluster task.
+func twoBlobs(n int, seed int64) ([][]float64, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	var x [][]float64
+	var y []bool
+	for i := 0; i < n; i++ {
+		pos := i%2 == 0
+		cx := -2.0
+		if pos {
+			cx = 2.0
+		}
+		x = append(x, []float64{cx + rng.NormFloat64()*0.8, rng.NormFloat64()})
+		y = append(y, pos)
+	}
+	return x, y
+}
+
+func TestKNNSeparatesBlobs(t *testing.T) {
+	x, y := twoBlobs(400, 1)
+	k := New(Config{K: 5})
+	if err := k.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	tx, ty := twoBlobs(200, 2)
+	correct := 0
+	for i := range tx {
+		if k.Predict(tx[i]) == ty[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(tx)); acc < 0.95 {
+		t.Fatalf("accuracy %v on separated blobs", acc)
+	}
+}
+
+func TestKNNStandardizesFeatures(t *testing.T) {
+	// Feature 1 carries the signal but at a tiny scale; feature 0 is
+	// large-scale noise. Without standardization kNN would ignore the
+	// signal dimension entirely.
+	rng := rand.New(rand.NewSource(3))
+	var x [][]float64
+	var y []bool
+	for i := 0; i < 400; i++ {
+		pos := i%2 == 0
+		signal := -0.001
+		if pos {
+			signal = 0.001
+		}
+		x = append(x, []float64{rng.NormFloat64() * 1000, signal + rng.NormFloat64()*0.0003})
+		y = append(y, pos)
+	}
+	k := New(Config{K: 7})
+	if err := k.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range x {
+		if k.Predict(x[i]) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(x)); acc < 0.9 {
+		t.Fatalf("accuracy %v; standardization not effective", acc)
+	}
+}
+
+func TestKNNMaxTrainCapsStorage(t *testing.T) {
+	x, y := twoBlobs(1000, 1)
+	k := New(Config{K: 3, MaxTrain: 100, Seed: 1})
+	if err := k.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if len(k.x) != 100 {
+		t.Fatalf("stored %d samples, want 100", len(k.x))
+	}
+	// Still classifies well.
+	tx, ty := twoBlobs(100, 2)
+	correct := 0
+	for i := range tx {
+		if k.Predict(tx[i]) == ty[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(tx)); acc < 0.9 {
+		t.Fatalf("capped accuracy %v", acc)
+	}
+}
+
+func TestKNNKOne(t *testing.T) {
+	x := [][]float64{{0}, {10}}
+	y := []bool{false, true}
+	k := New(Config{K: 1})
+	if err := k.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if k.Predict([]float64{1}) {
+		t.Fatal("nearest neighbour of 1 should be 0 (negative)")
+	}
+	if !k.Predict([]float64{9}) {
+		t.Fatal("nearest neighbour of 9 should be 10 (positive)")
+	}
+}
+
+func TestKNNDefaultK(t *testing.T) {
+	k := New(Config{})
+	if k.cfg.K != 5 {
+		t.Fatalf("default K = %d, want 5", k.cfg.K)
+	}
+}
+
+func TestKNNEmptyFitErrors(t *testing.T) {
+	k := New(Config{})
+	if err := k.Fit(nil, nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+}
+
+func TestKNNPredictBeforeFit(t *testing.T) {
+	k := New(Config{})
+	if k.Predict([]float64{1}) {
+		t.Fatal("unfitted kNN predicted positive")
+	}
+}
+
+func TestKNNKLargerThanTrainingSet(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}}
+	y := []bool{true, true, false}
+	k := New(Config{K: 10})
+	if err := k.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// All three points vote; majority positive.
+	if !k.Predict([]float64{1}) {
+		t.Fatal("majority vote over full set wrong")
+	}
+}
+
+// The kd-tree and the linear scan must give identical majority votes: the
+// tree is an exact-search acceleration, not an approximation.
+func TestKDTreeMatchesLinearScan(t *testing.T) {
+	x, y := twoBlobs(500, 9)
+	treeKNN := New(Config{K: 7})
+	linKNN := New(Config{K: 7, LinearScan: true})
+	if err := treeKNN.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := linKNN.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	probe, _ := twoBlobs(300, 10)
+	for i, p := range probe {
+		if treeKNN.Predict(p) != linKNN.Predict(p) {
+			t.Fatalf("query %d: kd-tree and linear scan disagree", i)
+		}
+	}
+}
+
+func TestKDTreeHighDimensional(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var x [][]float64
+	var y []bool
+	for i := 0; i < 300; i++ {
+		row := make([]float64, 20)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		pos := i%2 == 0
+		if pos {
+			row[3] += 3
+		}
+		x = append(x, row)
+		y = append(y, pos)
+	}
+	treeKNN := New(Config{K: 5})
+	linKNN := New(Config{K: 5, LinearScan: true})
+	if err := treeKNN.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := linKNN.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		row := make([]float64, 20)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		if treeKNN.Predict(row) != linKNN.Predict(row) {
+			t.Fatalf("query %d: high-dim disagreement", i)
+		}
+	}
+}

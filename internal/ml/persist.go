@@ -1,0 +1,93 @@
+package ml
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the dataset with one row per sample: feature columns
+// then a final "label" column (1 = spam). A header row names columns
+// f0..f{d-1},label so datasets round-trip and load into any analysis tool.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	dim := 0
+	if len(d.X) > 0 {
+		dim = len(d.X[0])
+	}
+	header := make([]string, dim+1)
+	for j := 0; j < dim; j++ {
+		header[j] = "f" + strconv.Itoa(j)
+	}
+	header[dim] = "label"
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, dim+1)
+	for i, x := range d.X {
+		if len(x) != dim {
+			return fmt.Errorf("ml: row %d has %d features, want %d", i, len(x), dim)
+		}
+		for j, v := range x {
+			row[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if d.Y[i] {
+			row[dim] = "1"
+		} else {
+			row[dim] = "0"
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads a dataset written by WriteCSV (header row required, last
+// column is the 0/1 label).
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("ml: read header: %w", err)
+	}
+	if len(header) < 1 || header[len(header)-1] != "label" {
+		return nil, fmt.Errorf("ml: last header column must be \"label\", got %v", header)
+	}
+	dim := len(header) - 1
+	var x [][]float64
+	var y []bool
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ml: line %d: %w", line+1, err)
+		}
+		line++
+		if len(rec) != dim+1 {
+			return nil, fmt.Errorf("ml: line %d has %d columns, want %d", line, len(rec), dim+1)
+		}
+		row := make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			row[j], err = strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("ml: line %d column %d: %w", line, j, err)
+			}
+		}
+		switch rec[dim] {
+		case "1":
+			y = append(y, true)
+		case "0":
+			y = append(y, false)
+		default:
+			return nil, fmt.Errorf("ml: line %d: label %q not 0/1", line, rec[dim])
+		}
+		x = append(x, row)
+	}
+	return NewDataset(x, y)
+}

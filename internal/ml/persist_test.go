@@ -1,0 +1,82 @@
+package ml
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDatasetCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []bool
+	for i := 0; i < 50; i++ {
+		x = append(x, []float64{rng.NormFloat64(), rng.Float64() * 1e6, -0.5})
+		y = append(y, i%3 == 0)
+	}
+	d, err := NewDataset(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() || back.Positives() != d.Positives() {
+		t.Fatalf("round trip size mismatch: %d/%d vs %d/%d",
+			back.Len(), back.Positives(), d.Len(), d.Positives())
+	}
+	for i := range d.X {
+		for j := range d.X[i] {
+			if back.X[i][j] != d.X[i][j] {
+				t.Fatalf("value (%d,%d) changed: %v vs %v",
+					i, j, back.X[i][j], d.X[i][j])
+			}
+		}
+		if back.Y[i] != d.Y[i] {
+			t.Fatalf("label %d changed", i)
+		}
+	}
+}
+
+func TestDatasetCSVEmptyDataset(t *testing.T) {
+	d, _ := NewDataset(nil, nil)
+	var buf strings.Builder
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Fatal("empty dataset grew")
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",                   // no header
+		"f0,notlabel\n1,0\n", // bad header
+		"f0,label\nxyz,1\n",  // bad float
+		"f0,label\n1,2\n",    // bad label value
+		"f0,f1,label\n1,0\n", // short row (csv reader errors)
+	}
+	for i, give := range cases {
+		if _, err := ReadCSV(strings.NewReader(give)); err == nil {
+			t.Errorf("case %d accepted: %q", i, give)
+		}
+	}
+}
+
+func TestWriteCSVRejectsRaggedRows(t *testing.T) {
+	d := &Dataset{X: [][]float64{{1, 2}, {3}}, Y: []bool{true, false}}
+	var buf strings.Builder
+	if err := d.WriteCSV(&buf); err == nil {
+		t.Fatal("ragged dataset accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package ml
+
+import "sort"
+
+// ScoreOf extracts a continuous spam score from a classifier when its
+// family exposes one: vote fraction (random forest), probability
+// (gradient boosting), or signed margin (SVM). Classifiers without a
+// score report their hard prediction as 0/1, which still yields a valid
+// one-threshold ROC.
+func ScoreOf(clf Classifier, x []float64) float64 {
+	switch c := clf.(type) {
+	case interface{ PredictProba([]float64) float64 }:
+		return c.PredictProba(x)
+	case interface{ Decision([]float64) float64 }:
+		return c.Decision(x)
+	default:
+		if clf.Predict(x) {
+			return 1
+		}
+		return 0
+	}
+}
+
+// ROCPoint is one (FPR, TPR) operating point.
+type ROCPoint struct {
+	FPR float64
+	TPR float64
+}
+
+// ROC computes the receiver operating characteristic of scores against
+// truth and its area under the curve (trapezoidal). Higher scores must
+// mean "more likely positive". Degenerate inputs (single class) return a
+// nil curve and AUC 0.
+func ROC(scores []float64, truth []bool) ([]ROCPoint, float64) {
+	if len(scores) != len(truth) || len(scores) == 0 {
+		return nil, 0
+	}
+	pos, neg := 0, 0
+	for _, v := range truth {
+		if v {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, 0
+	}
+
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return scores[idx[a]] > scores[idx[b]]
+	})
+
+	curve := []ROCPoint{{FPR: 0, TPR: 0}}
+	tp, fp := 0, 0
+	auc := 0.0
+	prev := ROCPoint{}
+	i := 0
+	for i < len(idx) {
+		// Process ties as one step so the curve is threshold-faithful.
+		j := i
+		for j < len(idx) && scores[idx[j]] == scores[idx[i]] {
+			if truth[idx[j]] {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		i = j
+		pt := ROCPoint{
+			FPR: float64(fp) / float64(neg),
+			TPR: float64(tp) / float64(pos),
+		}
+		auc += (pt.FPR - prev.FPR) * (pt.TPR + prev.TPR) / 2
+		curve = append(curve, pt)
+		prev = pt
+	}
+	return curve, auc
+}
+
+// AUCOf scores every sample with the classifier and returns the AUC.
+func AUCOf(clf Classifier, x [][]float64, truth []bool) float64 {
+	scores := make([]float64, len(x))
+	for i, row := range x {
+		scores[i] = ScoreOf(clf, row)
+	}
+	_, auc := ROC(scores, truth)
+	return auc
+}

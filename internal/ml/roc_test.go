@@ -1,0 +1,103 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestROCPerfectSeparation(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	truth := []bool{true, true, false, false}
+	curve, auc := ROC(scores, truth)
+	if auc != 1 {
+		t.Fatalf("AUC = %v, want 1", auc)
+	}
+	if len(curve) == 0 || curve[len(curve)-1].FPR != 1 || curve[len(curve)-1].TPR != 1 {
+		t.Fatalf("curve does not end at (1,1): %v", curve)
+	}
+}
+
+func TestROCInvertedScores(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	truth := []bool{true, true, false, false}
+	_, auc := ROC(scores, truth)
+	if auc != 0 {
+		t.Fatalf("inverted AUC = %v, want 0", auc)
+	}
+}
+
+func TestROCRandomScoresNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 4000
+	scores := make([]float64, n)
+	truth := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		truth[i] = rng.Float64() < 0.4
+	}
+	_, auc := ROC(scores, truth)
+	if math.Abs(auc-0.5) > 0.03 {
+		t.Fatalf("random-score AUC = %v, want ≈0.5", auc)
+	}
+}
+
+func TestROCTiedScores(t *testing.T) {
+	// All scores equal: single diagonal step, AUC exactly 0.5.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	truth := []bool{true, false, true, false}
+	curve, auc := ROC(scores, truth)
+	if auc != 0.5 {
+		t.Fatalf("tied AUC = %v, want 0.5", auc)
+	}
+	if len(curve) != 2 {
+		t.Fatalf("tied curve has %d points, want 2", len(curve))
+	}
+}
+
+func TestROCDegenerate(t *testing.T) {
+	if curve, auc := ROC([]float64{1, 2}, []bool{true, true}); curve != nil || auc != 0 {
+		t.Fatal("single-class ROC should be nil/0")
+	}
+	if curve, auc := ROC(nil, nil); curve != nil || auc != 0 {
+		t.Fatal("empty ROC should be nil/0")
+	}
+	if curve, auc := ROC([]float64{1}, []bool{true, false}); curve != nil || auc != 0 {
+		t.Fatal("mismatched lengths should be nil/0")
+	}
+}
+
+// scoredStub exposes PredictProba; thresholdClassifier (ml_test.go) does
+// not — ScoreOf must handle both.
+type scoredStub struct{ p float64 }
+
+func (s scoredStub) Fit([][]float64, []bool) error    { return nil }
+func (s scoredStub) Predict(x []float64) bool         { return s.p > 0.5 }
+func (s scoredStub) PredictProba(x []float64) float64 { return s.p }
+
+func TestScoreOf(t *testing.T) {
+	if got := ScoreOf(scoredStub{p: 0.7}, nil); got != 0.7 {
+		t.Fatalf("proba score = %v", got)
+	}
+	hard := &thresholdClassifier{cut: 0}
+	if got := ScoreOf(hard, []float64{1}); got != 1 {
+		t.Fatalf("hard positive score = %v", got)
+	}
+	if got := ScoreOf(hard, []float64{-1}); got != 0 {
+		t.Fatalf("hard negative score = %v", got)
+	}
+}
+
+func TestAUCOf(t *testing.T) {
+	x := [][]float64{{0.9}, {0.8}, {0.2}, {0.1}}
+	truth := []bool{true, true, false, false}
+	if got := AUCOf(scoredStubFromX{}, x, truth); got != 1 {
+		t.Fatalf("AUCOf = %v, want 1", got)
+	}
+}
+
+type scoredStubFromX struct{}
+
+func (scoredStubFromX) Fit([][]float64, []bool) error    { return nil }
+func (scoredStubFromX) Predict(x []float64) bool         { return x[0] > 0.5 }
+func (scoredStubFromX) PredictProba(x []float64) float64 { return x[0] }

@@ -1,0 +1,115 @@
+// Package svm implements a linear support vector machine trained with the
+// Pegasos stochastic sub-gradient algorithm on standardized features — one
+// of the paper's five compared detectors.
+package svm
+
+import (
+	"errors"
+	"math/rand"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml"
+)
+
+// Config holds SVM hyperparameters.
+type Config struct {
+	// Lambda is the L2 regularization strength (default 1e-4).
+	Lambda float64
+	// Epochs is the number of passes over the data (default 10).
+	Epochs int
+	// PositiveWeight scales updates for the positive (spam) class to
+	// counter class imbalance (default 1).
+	PositiveWeight float64
+	// Seed drives the stochastic sampling.
+	Seed int64
+}
+
+// SVM is a trained linear SVM.
+type SVM struct {
+	cfg    Config
+	scaler *ml.Standardizer
+	w      []float64
+	b      float64
+}
+
+// New creates an untrained SVM.
+func New(cfg Config) *SVM {
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = 1e-4
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 10
+	}
+	if cfg.PositiveWeight <= 0 {
+		cfg.PositiveWeight = 1
+	}
+	return &SVM{cfg: cfg}
+}
+
+// Fit trains with Pegasos: at step t, pick a random sample, update with
+// learning rate 1/(λt) on hinge-loss violations, and decay the weights.
+func (s *SVM) Fit(x [][]float64, y []bool) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("svm: empty or mismatched training data")
+	}
+	s.scaler = ml.FitStandardizer(x)
+	xs := s.scaler.TransformAll(x)
+	d := len(xs[0])
+	s.w = make([]float64, d)
+	s.b = 0
+
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	lambda := s.cfg.Lambda
+	steps := s.cfg.Epochs * len(xs)
+	for t := 1; t <= steps; t++ {
+		i := rng.Intn(len(xs))
+		eta := 1 / (lambda * float64(t))
+		yi := -1.0
+		weight := 1.0
+		if y[i] {
+			yi = 1
+			weight = s.cfg.PositiveWeight
+		}
+		margin := yi * (dot(s.w, xs[i]) + s.b)
+		// Weight decay from the regularizer.
+		decay := 1 - eta*lambda
+		if decay < 0 {
+			decay = 0
+		}
+		for j := range s.w {
+			s.w[j] *= decay
+		}
+		if margin < 1 {
+			step := eta * yi * weight
+			for j := range s.w {
+				s.w[j] += step * xs[i][j]
+			}
+			s.b += step
+		}
+	}
+	return nil
+}
+
+// Predict classifies one sample by the sign of the decision function.
+func (s *SVM) Predict(x []float64) bool {
+	return s.Decision(x) > 0
+}
+
+// Decision returns the signed margin of one sample.
+func (s *SVM) Decision(x []float64) float64 {
+	if s.scaler == nil {
+		return -1
+	}
+	return dot(s.w, s.scaler.Transform(x)) + s.b
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,131 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func separable(n int, margin float64, seed int64) ([][]float64, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	var x [][]float64
+	var y []bool
+	for i := 0; i < n; i++ {
+		pos := i%2 == 0
+		base := -margin
+		if pos {
+			base = margin
+		}
+		x = append(x, []float64{base + rng.NormFloat64()*0.5, rng.NormFloat64()})
+		y = append(y, pos)
+	}
+	return x, y
+}
+
+func TestSVMSeparableData(t *testing.T) {
+	x, y := separable(600, 2, 1)
+	s := New(Config{Epochs: 20, Seed: 1})
+	if err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	tx, ty := separable(300, 2, 2)
+	correct := 0
+	for i := range tx {
+		if s.Predict(tx[i]) == ty[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(tx)); acc < 0.97 {
+		t.Fatalf("accuracy %v on separable data", acc)
+	}
+}
+
+func TestSVMDecisionSign(t *testing.T) {
+	x, y := separable(600, 3, 1)
+	s := New(Config{Epochs: 20, Seed: 1})
+	if err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if s.Decision([]float64{3, 0}) <= 0 {
+		t.Fatal("positive-side decision not positive")
+	}
+	if s.Decision([]float64{-3, 0}) >= 0 {
+		t.Fatal("negative-side decision not negative")
+	}
+}
+
+func TestSVMPositiveWeightRaisesRecall(t *testing.T) {
+	// Imbalanced task: 10% positives. A higher positive weight should
+	// recover more positives.
+	rng := rand.New(rand.NewSource(5))
+	var x [][]float64
+	var y []bool
+	for i := 0; i < 1500; i++ {
+		pos := rng.Float64() < 0.1
+		base := -0.8
+		if pos {
+			base = 0.8
+		}
+		x = append(x, []float64{base + rng.NormFloat64(), rng.NormFloat64()})
+		y = append(y, pos)
+	}
+	recall := func(weight float64) float64 {
+		s := New(Config{Epochs: 20, PositiveWeight: weight, Seed: 1})
+		if err := s.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		tp, fn := 0, 0
+		for i := range x {
+			if !y[i] {
+				continue
+			}
+			if s.Predict(x[i]) {
+				tp++
+			} else {
+				fn++
+			}
+		}
+		return float64(tp) / float64(tp+fn)
+	}
+	low, high := recall(1), recall(6)
+	if high <= low {
+		t.Fatalf("recall with weight 6 (%v) <= weight 1 (%v)", high, low)
+	}
+}
+
+func TestSVMDeterministicForSeed(t *testing.T) {
+	x, y := separable(300, 2, 1)
+	fit := func() *SVM {
+		s := New(Config{Epochs: 10, Seed: 4})
+		if err := s.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := fit(), fit()
+	for i := range a.w {
+		if a.w[i] != b.w[i] {
+			t.Fatal("same-seed SVMs have different weights")
+		}
+	}
+}
+
+func TestSVMDefaults(t *testing.T) {
+	s := New(Config{})
+	if s.cfg.Lambda != 1e-4 || s.cfg.Epochs != 10 || s.cfg.PositiveWeight != 1 {
+		t.Fatalf("defaults = %+v", s.cfg)
+	}
+}
+
+func TestSVMEmptyFitErrors(t *testing.T) {
+	s := New(Config{})
+	if err := s.Fit(nil, nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+}
+
+func TestSVMPredictBeforeFit(t *testing.T) {
+	s := New(Config{})
+	if s.Predict([]float64{1}) {
+		t.Fatal("unfitted SVM predicted positive")
+	}
+}

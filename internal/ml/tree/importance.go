@@ -1,0 +1,20 @@
+package tree
+
+// FeatureImportance accumulates each feature's contribution to impurity
+// reduction across the tree (mean decrease in impurity, unnormalized).
+// The caller supplies the slice to accumulate into, so forests can sum
+// across trees; len(imp) must cover every feature index used by the tree.
+func (t *Tree) FeatureImportance(imp []float64) {
+	t.walkImportance(t.root, imp)
+}
+
+func (t *Tree) walkImportance(n *node, imp []float64) {
+	if n == nil || n.leaf {
+		return
+	}
+	if n.feature >= 0 && n.feature < len(imp) {
+		imp[n.feature] += n.gain
+	}
+	t.walkImportance(n.left, imp)
+	t.walkImportance(n.right, imp)
+}

@@ -1,0 +1,243 @@
+// Package tree implements a CART-style binary decision tree classifier
+// with Gini-impurity splits — the paper's DT baseline and the base learner
+// of the random forest.
+package tree
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+)
+
+// Config holds decision-tree hyperparameters.
+type Config struct {
+	// MaxDepth bounds tree depth; non-positive means unbounded.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 1).
+	MinLeaf int
+	// MaxFeatures is the number of random features considered per split;
+	// non-positive means all features (plain CART). The random forest
+	// sets this to √d.
+	MaxFeatures int
+	// Seed drives the per-split feature sampling when MaxFeatures is set.
+	Seed int64
+}
+
+// Tree is a trained decision tree.
+type Tree struct {
+	cfg  Config
+	rng  *rand.Rand
+	root *node
+}
+
+type node struct {
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+	leaf      bool
+	label     bool
+	// gain is the sample-weighted Gini decrease of this split, recorded
+	// for feature-importance accounting.
+	gain float64
+}
+
+// New creates an untrained tree.
+func New(cfg Config) *Tree {
+	if cfg.MinLeaf < 1 {
+		cfg.MinLeaf = 1
+	}
+	return &Tree{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Fit grows the tree on the samples.
+func (t *Tree) Fit(x [][]float64, y []bool) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("tree: empty or mismatched training data")
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.grow(x, y, idx, 0)
+	return nil
+}
+
+// Predict classifies one sample.
+func (t *Tree) Predict(x []float64) bool {
+	n := t.root
+	if n == nil {
+		return false
+	}
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.label
+}
+
+// Depth returns the depth of the trained tree (0 for a single leaf).
+func (t *Tree) Depth() int {
+	var depth func(*node) int
+	depth = func(n *node) int {
+		if n == nil || n.leaf {
+			return 0
+		}
+		l, r := depth(n.left), depth(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return depth(t.root)
+}
+
+func (t *Tree) grow(x [][]float64, y []bool, idx []int, depth int) *node {
+	pos := 0
+	for _, i := range idx {
+		if y[i] {
+			pos++
+		}
+	}
+	majority := pos*2 >= len(idx)
+	if pos == 0 || pos == len(idx) ||
+		(t.cfg.MaxDepth > 0 && depth >= t.cfg.MaxDepth) ||
+		len(idx) < 2*t.cfg.MinLeaf {
+		return &node{leaf: true, label: majority}
+	}
+
+	feature, threshold, childGini, ok := t.bestSplit(x, y, idx)
+	if !ok {
+		return &node{leaf: true, label: majority}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.cfg.MinLeaf || len(right) < t.cfg.MinLeaf {
+		return &node{leaf: true, label: majority}
+	}
+	parentGini := giniOf(len(idx), pos)
+	return &node{
+		feature:   feature,
+		threshold: threshold,
+		gain:      (parentGini - childGini) * float64(len(idx)),
+		left:      t.grow(x, y, left, depth+1),
+		right:     t.grow(x, y, right, depth+1),
+	}
+}
+
+// bestSplit finds the (feature, threshold) minimizing weighted Gini
+// impurity over the candidate features. Following standard random-forest
+// practice, if the sampled feature subset yields no valid split the search
+// widens to all features before giving up.
+func (t *Tree) bestSplit(x [][]float64, y []bool, idx []int) (int, float64, float64, bool) {
+	d := len(x[0])
+	if f, thr, g, ok := t.bestSplitOver(x, y, idx, t.candidateFeatures(d)); ok {
+		return f, thr, g, true
+	}
+	if t.cfg.MaxFeatures <= 0 || t.cfg.MaxFeatures >= d {
+		return 0, 0, 0, false // already searched everything
+	}
+	all := make([]int, d)
+	for i := range all {
+		all[i] = i
+	}
+	return t.bestSplitOver(x, y, idx, all)
+}
+
+// bestSplitOver searches the given features for the best Gini split,
+// returning the feature, threshold, and resulting weighted child impurity.
+func (t *Tree) bestSplitOver(x [][]float64, y []bool, idx []int, features []int) (int, float64, float64, bool) {
+
+	bestGini := 2.0
+	bestFeature, bestThreshold := -1, 0.0
+
+	// Scratch reused across features.
+	type pair struct {
+		v   float64
+		pos bool
+	}
+	pairs := make([]pair, len(idx))
+
+	total := len(idx)
+	totalPos := 0
+	for _, i := range idx {
+		if y[i] {
+			totalPos++
+		}
+	}
+
+	for _, f := range features {
+		for k, i := range idx {
+			pairs[k] = pair{v: x[i][f], pos: y[i]}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+
+		leftN, leftPos := 0, 0
+		for k := 0; k < total-1; k++ {
+			leftN++
+			if pairs[k].pos {
+				leftPos++
+			}
+			if pairs[k].v == pairs[k+1].v {
+				continue // threshold must separate distinct values
+			}
+			rightN := total - leftN
+			rightPos := totalPos - leftPos
+			gini := weightedGini(leftN, leftPos, rightN, rightPos)
+			if gini < bestGini {
+				bestGini = gini
+				bestFeature = f
+				bestThreshold = (pairs[k].v + pairs[k+1].v) / 2
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return 0, 0, 0, false
+	}
+	return bestFeature, bestThreshold, bestGini, true
+}
+
+// candidateFeatures returns the feature indices to consider for a split.
+func (t *Tree) candidateFeatures(d int) []int {
+	if t.cfg.MaxFeatures <= 0 || t.cfg.MaxFeatures >= d {
+		all := make([]int, d)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	// Partial Fisher–Yates over [0, d).
+	perm := make([]int, d)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < t.cfg.MaxFeatures; i++ {
+		j := i + t.rng.Intn(d-i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm[:t.cfg.MaxFeatures]
+}
+
+func weightedGini(leftN, leftPos, rightN, rightPos int) float64 {
+	total := float64(leftN + rightN)
+	return float64(leftN)/total*giniOf(leftN, leftPos) +
+		float64(rightN)/total*giniOf(rightN, rightPos)
+}
+
+// giniOf is the binary Gini impurity of a node with n samples, pos positive.
+func giniOf(n, pos int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return 2 * p * (1 - p)
+}

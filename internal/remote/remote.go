@@ -1,0 +1,181 @@
+// Package remote runs the pseudo-honeypot monitor against a twitterd-style
+// API server instead of an in-process world: node screening through the
+// REST search endpoint, mention tracking through statuses/filter, and
+// profile resolution through users/lookup — the same deployment shape as
+// the paper's Tweepy implementation (§V-A).
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/core"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/twitterapi"
+)
+
+// Sniffer drives a core.Monitor over the wire.
+type Sniffer struct {
+	client  *twitterapi.Client
+	monitor *core.Monitor
+
+	mu       sync.Mutex
+	profiles map[socialnet.AccountID]*socialnet.Account
+}
+
+// NewSniffer creates a remote sniffer with the given monitoring plan.
+func NewSniffer(client *twitterapi.Client, cfg core.MonitorConfig) (*Sniffer, error) {
+	if client == nil {
+		return nil, errors.New("remote: nil client")
+	}
+	return &Sniffer{
+		client: client,
+		monitor: core.NewMonitor(cfg, &twitterapi.RemoteScreener{
+			Client: client,
+		}),
+		profiles: make(map[socialnet.AccountID]*socialnet.Account),
+	}, nil
+}
+
+// Monitor exposes the underlying monitor (captures, groups, PGE inputs).
+func (s *Sniffer) Monitor() *core.Monitor { return s.monitor }
+
+// MonitorSimHours runs n monitored hours against a simulation-controlled
+// server: each hour the node set rotates, a fresh mention-tracking stream
+// attaches, and one simulated hour is advanced through /sim/advance.
+func (s *Sniffer) MonitorSimHours(ctx context.Context, n int) error {
+	for h := 0; h < n; h++ {
+		if err := s.monitorOneHour(ctx, h); err != nil {
+			return fmt.Errorf("hour %d: %w", h, err)
+		}
+	}
+	return nil
+}
+
+func (s *Sniffer) monitorOneHour(ctx context.Context, hour int) error {
+	s.monitor.Rotate(time.Now(), time.Hour)
+	track, err := s.trackList(ctx)
+	if err != nil {
+		return err
+	}
+	if len(track) == 0 {
+		return errors.New("remote: rotation selected no nodes")
+	}
+
+	streamCtx, stopStream := context.WithCancel(ctx)
+	defer stopStream()
+	var wg sync.WaitGroup
+	var streamErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		err := s.client.Stream(streamCtx, twitterapi.StreamFilter{Track: track},
+			s.onWireTweet)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			streamErr = err
+		}
+	}()
+
+	// Give the stream a moment to attach, then advance one simulated hour.
+	time.Sleep(50 * time.Millisecond)
+	if _, err := s.client.Advance(ctx, 1); err != nil {
+		stopStream()
+		wg.Wait()
+		return err
+	}
+	// Let the buffered stream drain before rotating away.
+	time.Sleep(200 * time.Millisecond)
+	stopStream()
+	wg.Wait()
+	return streamErr
+}
+
+// trackList resolves the current nodes to @screen_name filters.
+func (s *Sniffer) trackList(ctx context.Context) ([]string, error) {
+	nodes := s.monitor.CurrentNodes()
+	ids := make([]int64, 0, len(nodes))
+	for id := range nodes {
+		s.mu.Lock()
+		cached := s.profiles[id]
+		s.mu.Unlock()
+		if cached != nil && cached.ScreenName != "" {
+			continue
+		}
+		ids = append(ids, int64(id))
+	}
+	if len(ids) > 0 {
+		users, err := s.client.UsersLookup(ctx, ids)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		for i := range users {
+			if a := twitterapi.DecodeUser(&users[i]); a != nil {
+				s.profiles[a.ID] = a
+			}
+		}
+		s.mu.Unlock()
+	}
+	var track []string
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id := range nodes {
+		if a := s.profiles[id]; a != nil && a.ScreenName != "" {
+			track = append(track, "@"+a.ScreenName)
+		}
+	}
+	return track, nil
+}
+
+// onWireTweet decodes a streamed tweet and feeds the monitor.
+func (s *Sniffer) onWireTweet(wt twitterapi.Tweet) {
+	t, sender := twitterapi.DecodeTweet(&wt)
+	if t == nil {
+		return
+	}
+	s.mu.Lock()
+	if sender != nil {
+		s.profiles[sender.ID] = sender
+	}
+	s.mu.Unlock()
+	s.monitor.OnTweet(t, s.lookup)
+}
+
+// lookup resolves a profile from the stream/screening cache, falling back
+// to one REST lookup per unknown account.
+func (s *Sniffer) lookup(id socialnet.AccountID) *socialnet.Account {
+	s.mu.Lock()
+	if a, ok := s.profiles[id]; ok {
+		s.mu.Unlock()
+		return a
+	}
+	s.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	u, err := s.client.UserByID(ctx, int64(id))
+	if err != nil {
+		return nil
+	}
+	a := twitterapi.DecodeUser(u)
+	s.mu.Lock()
+	s.profiles[a.ID] = a
+	s.mu.Unlock()
+	return a
+}
+
+// Summary reports what the remote run collected.
+func (s *Sniffer) Summary() string {
+	captures := s.monitor.Captures()
+	senders := make(map[socialnet.AccountID]struct{}, len(captures))
+	for _, c := range captures {
+		senders[c.Tweet.AuthorID] = struct{}{}
+	}
+	return "captured " + strconv.Itoa(len(captures)) + " tweets from " +
+		strconv.Itoa(len(senders)) + " accounts over " +
+		strconv.Itoa(s.monitor.Rotations()) + " rotations"
+}

@@ -1,0 +1,79 @@
+package remote
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/core"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/twitterapi"
+)
+
+func newRemoteSetup(t *testing.T) (*twitterapi.Server, *twitterapi.Client) {
+	t.Helper()
+	cfg := socialnet.DefaultConfig()
+	cfg.NumAccounts = 1500
+	cfg.OrganicTweetsPerHour = 400
+	w, err := socialnet.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := twitterapi.NewServer(socialnet.NewEngine(w))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, twitterapi.NewClient(ts.URL, ts.Client())
+}
+
+func TestRemoteSnifferEndToEnd(t *testing.T) {
+	_, client := newRemoteSetup(t)
+	sniffer, err := NewSniffer(client, core.MonitorConfig{
+		Specs: core.RandomSpec(50),
+		Seed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sniffer.MonitorSimHours(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	m := sniffer.Monitor()
+	if m.Rotations() != 3 {
+		t.Fatalf("rotations = %d, want 3", m.Rotations())
+	}
+	if len(m.Captures()) == 0 {
+		t.Fatal("remote sniffer captured nothing")
+	}
+	for _, c := range m.Captures() {
+		if c.Sender == nil {
+			t.Fatal("capture without sender profile over the wire")
+		}
+	}
+	if !strings.Contains(sniffer.Summary(), "captured") {
+		t.Fatalf("summary = %q", sniffer.Summary())
+	}
+}
+
+func TestRemoteSnifferNilClient(t *testing.T) {
+	if _, err := NewSniffer(nil, core.MonitorConfig{}); err == nil {
+		t.Fatal("nil client accepted")
+	}
+}
+
+func TestRemoteSnifferContextCancellation(t *testing.T) {
+	_, client := newRemoteSetup(t)
+	sniffer, err := NewSniffer(client, core.MonitorConfig{
+		Specs: core.RandomSpec(10),
+		Seed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A cancelled context must fail fast, not hang.
+	if err := sniffer.MonitorSimHours(ctx, 2); err == nil {
+		t.Fatal("cancelled monitoring succeeded")
+	}
+}

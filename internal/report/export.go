@@ -1,0 +1,67 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+)
+
+// WriteCSV writes the table as CSV (headers first). The title is not part
+// of the CSV payload; callers name the file or stream instead.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// tableJSON is the stable JSON shape of a Table.
+type tableJSON struct {
+	Title   string     `json:"title,omitempty"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// MarshalJSON renders the table as {title, headers, rows}.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(tableJSON{Title: t.Title, Headers: t.Headers, Rows: rows})
+}
+
+// AsTable converts the series into its tabular form (one row per point),
+// sharing the renderers and exporters.
+func (s *Series) AsTable() *Table {
+	t := &Table{
+		Title:   s.Title,
+		Headers: append([]string{s.XLabel}, s.Cols...),
+	}
+	for _, p := range s.Points {
+		cells := make([]any, 0, len(p.Y)+1)
+		cells = append(cells, p.X)
+		for _, y := range p.Y {
+			cells = append(cells, y)
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// WriteCSV writes the series as CSV.
+func (s *Series) WriteCSV(w io.Writer) error {
+	return s.AsTable().WriteCSV(w)
+}
+
+// MarshalJSON renders the series via its tabular form.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	return s.AsTable().MarshalJSON()
+}

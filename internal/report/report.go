@@ -1,0 +1,121 @@
+// Package report renders experiment outputs — the paper's tables and
+// figure series — as aligned plain text for terminals and logs.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row, stringifying the cells with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render returns the aligned text form.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	if total > 0 {
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Point is one x position of a figure series with its named y values.
+type Point struct {
+	X string
+	Y []float64
+}
+
+// Series is a figure reproduced as columns of numbers: one row per x
+// position, one column per curve.
+type Series struct {
+	Title string
+	// XLabel names the x axis; Cols name the curves.
+	XLabel string
+	Cols   []string
+	Points []Point
+}
+
+// Add appends one point.
+func (s *Series) Add(x string, ys ...float64) {
+	s.Points = append(s.Points, Point{X: x, Y: ys})
+}
+
+// Render returns the aligned text form.
+func (s *Series) Render() string {
+	t := Table{
+		Title:   s.Title,
+		Headers: append([]string{s.XLabel}, s.Cols...),
+	}
+	for _, p := range s.Points {
+		cells := make([]any, 0, len(p.Y)+1)
+		cells = append(cells, p.X)
+		for _, y := range p.Y {
+			cells = append(cells, y)
+		}
+		t.AddRow(cells...)
+	}
+	return t.Render()
+}
+
+// FormatFloat renders a float compactly: integers without decimals,
+// otherwise four significant decimals.
+func FormatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", v), "0"), ".")
+}

@@ -1,0 +1,193 @@
+// Package simclock provides deterministic virtual time for driving the
+// social-network simulation and the pseudo-honeypot rotation schedule.
+//
+// All simulation components take a Clock rather than calling time.Now
+// directly, so experiments replay bit-for-bit under a fixed seed. The
+// package also provides an event queue ordered by virtual time, which the
+// traffic engine uses to interleave account activity.
+package simclock
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Epoch is the virtual-time origin used by simulated clocks when no explicit
+// start is given. It matches the paper's data-collection period (March 2018).
+var Epoch = time.Date(2018, time.March, 10, 0, 0, 0, 0, time.UTC)
+
+// ErrEmpty is returned by Queue.Pop when no events remain.
+var ErrEmpty = errors.New("simclock: event queue is empty")
+
+// Clock abstracts the passage of time. Implementations must be safe for
+// concurrent use.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+}
+
+// Simulated is a manually advanced Clock. The zero value is not usable; use
+// NewSimulated.
+type Simulated struct {
+	mu  sync.RWMutex
+	now time.Time
+}
+
+var _ Clock = (*Simulated)(nil)
+
+// NewSimulated returns a Simulated clock starting at start. A zero start
+// begins at Epoch.
+func NewSimulated(start time.Time) *Simulated {
+	if start.IsZero() {
+		start = Epoch
+	}
+	return &Simulated{now: start}
+}
+
+// Now returns the current virtual instant.
+func (c *Simulated) Now() time.Time {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new instant.
+// Negative durations are ignored so time never runs backwards.
+func (c *Simulated) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.now = c.now.Add(d)
+	}
+	return c.now
+}
+
+// Set moves the clock to t if t is not before the current instant.
+// It reports whether the clock moved.
+func (c *Simulated) Set(t time.Time) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.Before(c.now) {
+		return false
+	}
+	c.now = t
+	return true
+}
+
+// Wall is a Clock backed by the real time.Now. It exists so production-style
+// binaries (cmd/twitterd) can share code paths with the simulation.
+type Wall struct{}
+
+var _ Clock = Wall{}
+
+// Now returns the wall-clock time.
+func (Wall) Now() time.Time { return time.Now() }
+
+// Event is a unit of scheduled work in virtual time.
+type Event struct {
+	// At is the virtual instant the event fires.
+	At time.Time
+	// Seq breaks ties between events scheduled for the same instant;
+	// lower sequences fire first. The Queue assigns it automatically.
+	Seq uint64
+	// Fire is invoked when the event is due. It may schedule further
+	// events on the same queue.
+	Fire func(now time.Time)
+}
+
+// Queue is a virtual-time event queue. It is not safe for concurrent use;
+// the traffic engine drives it from a single goroutine.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// NewQueue returns an empty event queue.
+func NewQueue() *Queue {
+	return &Queue{}
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Push schedules fire at instant at.
+func (q *Queue) Push(at time.Time, fire func(now time.Time)) {
+	q.seq++
+	heap.Push(&q.h, &Event{At: at, Seq: q.seq, Fire: fire})
+}
+
+// PeekTime returns the instant of the earliest pending event.
+func (q *Queue) PeekTime() (time.Time, error) {
+	if len(q.h) == 0 {
+		return time.Time{}, ErrEmpty
+	}
+	return q.h[0].At, nil
+}
+
+// Pop removes and returns the earliest pending event.
+func (q *Queue) Pop() (*Event, error) {
+	if len(q.h) == 0 {
+		return nil, ErrEmpty
+	}
+	ev, ok := heap.Pop(&q.h).(*Event)
+	if !ok {
+		return nil, errors.New("simclock: corrupt event heap")
+	}
+	return ev, nil
+}
+
+// RunUntil pops and fires events in order until the queue is empty or the
+// next event is after deadline. The clock is advanced to each event's
+// instant before it fires. It returns the number of events fired.
+func (q *Queue) RunUntil(clock *Simulated, deadline time.Time) int {
+	fired := 0
+	for {
+		at, err := q.PeekTime()
+		if err != nil || at.After(deadline) {
+			break
+		}
+		ev, err := q.Pop()
+		if err != nil {
+			break
+		}
+		clock.Set(ev.At)
+		if ev.Fire != nil {
+			ev.Fire(ev.At)
+		}
+		fired++
+	}
+	clock.Set(deadline)
+	return fired
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At.Equal(h[j].At) {
+		return h[i].Seq < h[j].Seq
+	}
+	return h[i].At.Before(h[j].At)
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

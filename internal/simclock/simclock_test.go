@@ -1,0 +1,223 @@
+package simclock
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSimulatedStartsAtEpochByDefault(t *testing.T) {
+	c := NewSimulated(time.Time{})
+	if got := c.Now(); !got.Equal(Epoch) {
+		t.Fatalf("Now() = %v, want epoch %v", got, Epoch)
+	}
+}
+
+func TestSimulatedStartsAtGivenInstant(t *testing.T) {
+	start := time.Date(2020, 1, 2, 3, 4, 5, 0, time.UTC)
+	c := NewSimulated(start)
+	if got := c.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+}
+
+func TestSimulatedAdvance(t *testing.T) {
+	c := NewSimulated(time.Time{})
+	got := c.Advance(90 * time.Minute)
+	want := Epoch.Add(90 * time.Minute)
+	if !got.Equal(want) {
+		t.Fatalf("Advance = %v, want %v", got, want)
+	}
+	if !c.Now().Equal(want) {
+		t.Fatalf("Now after Advance = %v, want %v", c.Now(), want)
+	}
+}
+
+func TestSimulatedAdvanceIgnoresNegative(t *testing.T) {
+	c := NewSimulated(time.Time{})
+	c.Advance(-time.Hour)
+	if got := c.Now(); !got.Equal(Epoch) {
+		t.Fatalf("negative Advance moved clock to %v", got)
+	}
+}
+
+func TestSimulatedSetRefusesPast(t *testing.T) {
+	c := NewSimulated(time.Time{})
+	c.Advance(time.Hour)
+	if c.Set(Epoch) {
+		t.Fatal("Set accepted an instant in the past")
+	}
+	if !c.Set(Epoch.Add(2 * time.Hour)) {
+		t.Fatal("Set refused an instant in the future")
+	}
+}
+
+func TestWallClockTracksRealTime(t *testing.T) {
+	var w Wall
+	before := time.Now()
+	got := w.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Wall.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestQueueOrdersByTime(t *testing.T) {
+	q := NewQueue()
+	var order []int
+	times := []time.Duration{5 * time.Minute, time.Minute, 3 * time.Minute}
+	for i, d := range times {
+		i := i
+		q.Push(Epoch.Add(d), func(time.Time) { order = append(order, i) })
+	}
+	clock := NewSimulated(time.Time{})
+	fired := q.RunUntil(clock, Epoch.Add(time.Hour))
+	if fired != 3 {
+		t.Fatalf("fired %d events, want 3", fired)
+	}
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fire order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestQueueTieBreakIsFIFO(t *testing.T) {
+	q := NewQueue()
+	at := Epoch.Add(time.Minute)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Push(at, func(time.Time) { order = append(order, i) })
+	}
+	clock := NewSimulated(time.Time{})
+	q.RunUntil(clock, at)
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("same-instant events fired out of order: %v", order)
+	}
+}
+
+func TestQueueRunUntilStopsAtDeadline(t *testing.T) {
+	q := NewQueue()
+	fired := 0
+	q.Push(Epoch.Add(time.Minute), func(time.Time) { fired++ })
+	q.Push(Epoch.Add(2*time.Hour), func(time.Time) { fired++ })
+	clock := NewSimulated(time.Time{})
+	n := q.RunUntil(clock, Epoch.Add(time.Hour))
+	if n != 1 || fired != 1 {
+		t.Fatalf("fired %d (%d calls), want 1", n, fired)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("queue length = %d, want 1 pending", q.Len())
+	}
+	if !clock.Now().Equal(Epoch.Add(time.Hour)) {
+		t.Fatalf("clock = %v, want advanced to deadline", clock.Now())
+	}
+}
+
+func TestQueueRunUntilAdvancesClockToEventInstant(t *testing.T) {
+	q := NewQueue()
+	at := Epoch.Add(42 * time.Minute)
+	var seen time.Time
+	q.Push(at, func(now time.Time) { seen = now })
+	clock := NewSimulated(time.Time{})
+	q.RunUntil(clock, Epoch.Add(time.Hour))
+	if !seen.Equal(at) {
+		t.Fatalf("event observed now = %v, want %v", seen, at)
+	}
+}
+
+func TestQueuePopEmpty(t *testing.T) {
+	q := NewQueue()
+	if _, err := q.Pop(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Pop on empty queue: err = %v, want ErrEmpty", err)
+	}
+	if _, err := q.PeekTime(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("PeekTime on empty queue: err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestQueueEventsScheduledDuringRunFire(t *testing.T) {
+	q := NewQueue()
+	fired := 0
+	q.Push(Epoch.Add(time.Minute), func(now time.Time) {
+		fired++
+		q.Push(now.Add(time.Minute), func(time.Time) { fired++ })
+	})
+	clock := NewSimulated(time.Time{})
+	q.RunUntil(clock, Epoch.Add(time.Hour))
+	if fired != 2 {
+		t.Fatalf("fired %d, want cascaded event to fire too", fired)
+	}
+}
+
+// Property: popping every event yields a non-decreasing time sequence no
+// matter the insertion order.
+func TestQueuePopOrderProperty(t *testing.T) {
+	prop := func(offsets []int16) bool {
+		q := NewQueue()
+		for _, off := range offsets {
+			d := time.Duration(int64(off)&0x7fff) * time.Second
+			q.Push(Epoch.Add(d), nil)
+		}
+		var last time.Time
+		for q.Len() > 0 {
+			ev, err := q.Pop()
+			if err != nil {
+				return false
+			}
+			if !last.IsZero() && ev.At.Before(last) {
+				return false
+			}
+			last = ev.At
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RunUntil fires exactly the events at or before the deadline.
+func TestQueueRunUntilCountProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		q := NewQueue()
+		deadline := Epoch.Add(time.Duration(rng.Intn(3600)) * time.Second)
+		want := 0
+		for i := 0; i < 100; i++ {
+			at := Epoch.Add(time.Duration(rng.Intn(7200)) * time.Second)
+			if !at.After(deadline) {
+				want++
+			}
+			q.Push(at, nil)
+		}
+		clock := NewSimulated(time.Time{})
+		if got := q.RunUntil(clock, deadline); got != want {
+			t.Fatalf("trial %d: fired %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestSimulatedConcurrentAdvance(t *testing.T) {
+	c := NewSimulated(time.Time{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			c.Advance(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		_ = c.Now()
+	}
+	<-done
+	want := Epoch.Add(1000 * time.Millisecond)
+	if !c.Now().Equal(want) {
+		t.Fatalf("after concurrent advances Now() = %v, want %v", c.Now(), want)
+	}
+}

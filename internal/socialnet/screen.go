@@ -1,0 +1,88 @@
+package socialnet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// DefaultTolerance is the relative band used when matching numeric sample
+// values during account screening.
+const DefaultTolerance = 0.35
+
+// ScreenQuery is an account-screening request: find candidate
+// pseudo-honeypot nodes satisfying a selector. It is the in-process
+// equivalent of the account filtering the paper performs through the
+// Twitter search/streaming APIs.
+type ScreenQuery struct {
+	Selector Selector
+
+	// Count is the number of accounts to return.
+	Count int
+
+	// Tolerance is the relative band for numeric sample values;
+	// non-positive values use DefaultTolerance.
+	Tolerance float64
+
+	// ActiveOnly keeps only accounts in Active status (paper §III-D);
+	// ActiveWindow defaults to 24h.
+	ActiveOnly   bool
+	ActiveWindow time.Duration
+
+	// Exclude lists accounts that must not be selected (e.g. nodes
+	// already used in a previous rotation).
+	Exclude map[AccountID]struct{}
+
+	// MaxFriendFollowerRatio drops candidates whose friend/follower
+	// ratio exceeds the bound — basic selection hygiene against
+	// follow-heavy spam accounts (the pseudo-honeypot harnesses *normal*
+	// users). Zero or negative disables the filter.
+	MaxFriendFollowerRatio float64
+}
+
+// Screen returns up to q.Count non-suspended accounts matching the query
+// at instant now, sampled uniformly among the matches using rng. The
+// returned accounts are shared pointers into the world (profiles mutate as
+// the engine runs, as live API lookups would).
+func (w *World) Screen(q ScreenQuery, now time.Time, rng *rand.Rand) []*Account {
+	if q.Count <= 0 {
+		return nil
+	}
+	tol := q.Tolerance
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	window := q.ActiveWindow
+	if window <= 0 {
+		window = 24 * time.Hour
+	}
+
+	var matches []*Account
+	for _, a := range w.accounts {
+		if a.Suspended {
+			continue
+		}
+		if _, excluded := q.Exclude[a.ID]; excluded {
+			continue
+		}
+		if q.ActiveOnly && !a.Active(now, window) {
+			continue
+		}
+		if q.MaxFriendFollowerRatio > 0 &&
+			a.FriendFollowerRatio() > q.MaxFriendFollowerRatio {
+			continue
+		}
+		if !q.Selector.Matches(a, now, tol) {
+			continue
+		}
+		matches = append(matches, a)
+	}
+	if len(matches) <= q.Count {
+		return matches
+	}
+	// Partial Fisher–Yates: sample Count of the matches uniformly.
+	for i := 0; i < q.Count; i++ {
+		j := i + rng.Intn(len(matches)-i)
+		matches[i], matches[j] = matches[j], matches[i]
+	}
+	return matches[:q.Count]
+}

@@ -1,0 +1,308 @@
+package twitterapi
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client consumes the emulated Twitter API: REST helpers plus a streaming
+// consumer with automatic reconnection and exponential backoff, mirroring
+// how the paper's Tweepy-based implementation stays attached to the
+// Streaming API for hundreds of hours.
+type Client struct {
+	base string
+	http *http.Client
+
+	// InitialBackoff and MaxBackoff bound the reconnect delays of Stream.
+	InitialBackoff time.Duration
+	MaxBackoff     time.Duration
+}
+
+// NewClient creates a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8080"). httpClient may be nil for http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{
+		base:           strings.TrimRight(baseURL, "/"),
+		http:           httpClient,
+		InitialBackoff: 250 * time.Millisecond,
+		MaxBackoff:     8 * time.Second,
+	}
+}
+
+// UserShow fetches one user by screen name.
+func (c *Client) UserShow(ctx context.Context, screenName string) (*User, error) {
+	var u User
+	err := c.getJSON(ctx, "/1.1/users/show.json", url.Values{
+		"screen_name": {screenName},
+	}, &u)
+	if err != nil {
+		return nil, err
+	}
+	return &u, nil
+}
+
+// UserByID fetches one user by id.
+func (c *Client) UserByID(ctx context.Context, id int64) (*User, error) {
+	var u User
+	err := c.getJSON(ctx, "/1.1/users/show.json", url.Values{
+		"user_id": {strconv.FormatInt(id, 10)},
+	}, &u)
+	if err != nil {
+		return nil, err
+	}
+	return &u, nil
+}
+
+// UsersLookup fetches a batch of users by id; unknown ids are skipped.
+func (c *Client) UsersLookup(ctx context.Context, ids []int64) ([]User, error) {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.FormatInt(id, 10)
+	}
+	var users []User
+	err := c.getJSON(ctx, "/1.1/users/lookup.json", url.Values{
+		"user_id": {strings.Join(parts, ",")},
+	}, &users)
+	return users, err
+}
+
+// SearchQuery parameterizes UsersSearch; see the server's
+// /1.1/users/search.json documentation.
+type SearchQuery struct {
+	Attr       string
+	Value      float64
+	Category   string
+	Trend      string
+	Count      int
+	Tolerance  float64
+	ActiveOnly bool
+}
+
+// UsersSearch screens accounts by attribute.
+func (c *Client) UsersSearch(ctx context.Context, q SearchQuery) ([]User, error) {
+	vals := url.Values{
+		"attr":  {q.Attr},
+		"count": {strconv.Itoa(q.Count)},
+	}
+	if q.Value != 0 {
+		vals.Set("value", strconv.FormatFloat(q.Value, 'f', -1, 64))
+	}
+	if q.Category != "" {
+		vals.Set("category", q.Category)
+	}
+	if q.Trend != "" {
+		vals.Set("trend", q.Trend)
+	}
+	if q.Tolerance > 0 {
+		vals.Set("tolerance", strconv.FormatFloat(q.Tolerance, 'f', -1, 64))
+	}
+	if q.ActiveOnly {
+		vals.Set("active", "1")
+	}
+	var users []User
+	err := c.getJSON(ctx, "/1.1/users/search.json", vals, &users)
+	return users, err
+}
+
+// Trends fetches trending topics, optionally filtered by state
+// ("trending-up", "trending-down", "popular", "no-trending").
+func (c *Client) Trends(ctx context.Context, state string) ([]Trend, error) {
+	vals := url.Values{}
+	if state != "" {
+		vals.Set("state", state)
+	}
+	var trends []Trend
+	err := c.getJSON(ctx, "/1.1/trends.json", vals, &trends)
+	return trends, err
+}
+
+// Advance asks the simulation server to run n hours.
+func (c *Client) Advance(ctx context.Context, hours int) (*SimStats, error) {
+	u := fmt.Sprintf("%s/sim/advance.json?hours=%d", c.base, hours)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	var stats SimStats
+	if err := c.do(req, &stats); err != nil {
+		return nil, err
+	}
+	return &stats, nil
+}
+
+// Stats fetches simulation counters.
+func (c *Client) Stats(ctx context.Context) (*SimStats, error) {
+	var stats SimStats
+	if err := c.getJSON(ctx, "/sim/stats.json", nil, &stats); err != nil {
+		return nil, err
+	}
+	return &stats, nil
+}
+
+// StreamFilter holds the statuses/filter parameters.
+type StreamFilter struct {
+	// Track lists @screen_name mention filters.
+	Track []string
+	// Follow lists user ids whose own posts are delivered.
+	Follow []int64
+}
+
+// Stream attaches to statuses/filter and invokes handler for every tweet
+// until ctx is cancelled. Dropped connections are re-established with
+// exponential backoff; the error is returned only when ctx ends or the
+// server rejects the request outright.
+func (c *Client) Stream(ctx context.Context, filter StreamFilter, handler func(Tweet)) error {
+	backoff := c.InitialBackoff
+	for {
+		err := c.streamOnce(ctx, filter, handler)
+		switch {
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case err == nil:
+			// Server closed the stream cleanly; reconnect immediately.
+			backoff = c.InitialBackoff
+			continue
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Code >= 400 && apiErr.Code < 500 {
+			return err // client error: retrying cannot help
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > c.MaxBackoff {
+			backoff = c.MaxBackoff
+		}
+	}
+}
+
+// streamOnce makes a single streaming connection.
+func (c *Client) streamOnce(ctx context.Context, filter StreamFilter, handler func(Tweet)) error {
+	form := url.Values{}
+	if len(filter.Track) > 0 {
+		form.Set("track", strings.Join(filter.Track, ","))
+	}
+	if len(filter.Follow) > 0 {
+		ids := make([]string, len(filter.Follow))
+		for i, id := range filter.Follow {
+			ids[i] = strconv.FormatInt(id, 10)
+		}
+		form.Set("follow", strings.Join(ids, ","))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/1.1/statuses/filter.json", strings.NewReader(form.Encode()))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return decodeAPIError(resp)
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var t Tweet
+		if err := json.Unmarshal(line, &t); err != nil {
+			return fmt.Errorf("decode stream: %w", err)
+		}
+		handler(t)
+	}
+	return scanner.Err()
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, vals url.Values, out any) error {
+	u := c.base + path
+	if len(vals) > 0 {
+		u += "?" + vals.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// Honour Retry-After once, as well-behaved API consumers do.
+		wait := retryAfter(resp, c.MaxBackoff)
+		_ = resp.Body.Close()
+		select {
+		case <-req.Context().Done():
+			return req.Context().Err()
+		case <-time.After(wait):
+		}
+		resp, err = c.http.Do(req)
+		if err != nil {
+			return err
+		}
+	}
+	defer func() {
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		_, err := io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("decode %s: %w", req.URL.Path, err)
+	}
+	return nil
+}
+
+// retryAfter parses the Retry-After header, clamped to maxWait.
+func retryAfter(resp *http.Response, maxWait time.Duration) time.Duration {
+	if maxWait <= 0 {
+		maxWait = 8 * time.Second
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return maxWait
+	}
+	wait := time.Duration(secs) * time.Second
+	if wait > maxWait {
+		wait = maxWait
+	}
+	return wait
+}
+
+func decodeAPIError(resp *http.Response) error {
+	var apiErr APIError
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil || apiErr.Code == 0 {
+		return fmt.Errorf("twitterapi: http %d", resp.StatusCode)
+	}
+	return &apiErr
+}

@@ -1,0 +1,88 @@
+package twitterapi
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+)
+
+// TestSlowConsumerDropsInsteadOfBlocking fills a stream's buffer without a
+// reader attached: dispatch must not block the engine and must count the
+// overflow, mirroring the real Streaming API's limit notices.
+func TestSlowConsumerDropsInsteadOfBlocking(t *testing.T) {
+	cfg := socialnet.DefaultConfig()
+	cfg.NumAccounts = 1000
+	cfg.OrganicTweetsPerHour = 300
+	w, err := socialnet.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(socialnet.NewEngine(w))
+
+	// Register a stream directly with a tiny buffer and no reader.
+	st := &stream{
+		all: true,
+		ch:  make(chan *socialnet.Tweet, 4),
+	}
+	srv.streamsMu.Lock()
+	srv.streams[0] = st
+	srv.streamsMu.Unlock()
+
+	// Advancing must complete despite the full buffer (would deadlock if
+	// dispatch blocked on the channel).
+	srv.Advance(2)
+
+	if st.dropped == 0 {
+		t.Fatal("no drops recorded for a slow consumer")
+	}
+	if len(st.ch) != cap(st.ch) {
+		t.Fatalf("buffer holds %d, want full %d", len(st.ch), cap(st.ch))
+	}
+}
+
+func TestStreamWantsFiltering(t *testing.T) {
+	st := &stream{
+		mentionsOf: map[socialnet.AccountID]struct{}{7: {}},
+		follow:     map[socialnet.AccountID]struct{}{9: {}},
+	}
+	tests := []struct {
+		name string
+		t    *socialnet.Tweet
+		want bool
+	}{
+		{name: "mention of tracked", t: &socialnet.Tweet{AuthorID: 1, Mentions: []socialnet.AccountID{7}}, want: true},
+		{name: "authored by followed", t: &socialnet.Tweet{AuthorID: 9}, want: true},
+		{name: "unrelated", t: &socialnet.Tweet{AuthorID: 1, Mentions: []socialnet.AccountID{2}}, want: false},
+		{name: "no mentions", t: &socialnet.Tweet{AuthorID: 1}, want: false},
+	}
+	for _, tt := range tests {
+		if got := st.wants(tt.t); got != tt.want {
+			t.Errorf("%s: wants = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+	all := &stream{all: true}
+	if !all.wants(&socialnet.Tweet{AuthorID: 1}) {
+		t.Fatal("firehose stream rejected a tweet")
+	}
+}
+
+func TestAdvanceRejectsBadHours(t *testing.T) {
+	cfg := socialnet.DefaultConfig()
+	cfg.NumAccounts = 200
+	w, err := socialnet.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(socialnet.NewEngine(w))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client())
+
+	for _, hours := range []int{0, -5, 100000} {
+		if _, err := client.Advance(context.Background(), hours); err == nil {
+			t.Fatalf("Advance(%d) accepted", hours)
+		}
+	}
+}

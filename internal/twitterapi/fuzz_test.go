@@ -1,0 +1,25 @@
+package twitterapi
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeTweet ensures arbitrary wire bytes never panic the stream
+// decoder path (unmarshal + DecodeTweet).
+func FuzzDecodeTweet(f *testing.F) {
+	f.Add([]byte(`{"id":1,"text":"hi","user":{"id":2,"screen_name":"x"}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"created_at":"garbage","entities":{"user_mentions":[{"id":-1}]}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var wt Tweet
+		if err := json.Unmarshal(data, &wt); err != nil {
+			return
+		}
+		tweet, sender := DecodeTweet(&wt)
+		if tweet == nil {
+			t.Fatal("valid wire tweet decoded to nil")
+		}
+		_ = sender
+	})
+}

@@ -1,0 +1,73 @@
+package twitterapi
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a fixed-window counter per endpoint class, mirroring the
+// 15-minute windows of the Twitter REST API. The zero value is disabled.
+type rateLimiter struct {
+	mu     sync.Mutex
+	limit  int
+	window time.Duration
+	counts map[string]int
+	reset  time.Time
+	now    func() time.Time
+}
+
+// newRateLimiter allows limit requests per endpoint per window.
+func newRateLimiter(limit int, window time.Duration) *rateLimiter {
+	return &rateLimiter{
+		limit:  limit,
+		window: window,
+		counts: make(map[string]int),
+		now:    time.Now,
+	}
+}
+
+// allow consumes one request slot for the endpoint, reporting whether the
+// request may proceed and, if not, how long until the window resets.
+func (rl *rateLimiter) allow(endpoint string) (bool, time.Duration) {
+	if rl == nil || rl.limit <= 0 {
+		return true, 0
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	now := rl.now()
+	if now.After(rl.reset) {
+		rl.counts = make(map[string]int)
+		rl.reset = now.Add(rl.window)
+	}
+	if rl.counts[endpoint] >= rl.limit {
+		return false, rl.reset.Sub(now)
+	}
+	rl.counts[endpoint]++
+	return true, 0
+}
+
+// WithRateLimit enables fixed-window rate limiting on the REST endpoints
+// (limit requests per endpoint per window). Streaming connections are
+// exempt, as on the real platform.
+func WithRateLimit(limit int, window time.Duration) ServerOption {
+	return func(s *Server) {
+		s.limiter = newRateLimiter(limit, window)
+	}
+}
+
+// rateLimited wraps a REST handler with the server's limiter, answering
+// HTTP 429 with a Retry-After header when the window is exhausted.
+func (s *Server) rateLimited(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ok, retryIn := s.limiter.allow(endpoint)
+		if !ok {
+			secs := int(retryIn.Seconds()) + 1
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeErr(w, http.StatusTooManyRequests, "rate limit exceeded")
+			return
+		}
+		h(w, r)
+	}
+}

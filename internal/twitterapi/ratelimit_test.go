@@ -1,0 +1,121 @@
+package twitterapi
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+)
+
+func TestRateLimiterWindows(t *testing.T) {
+	rl := newRateLimiter(2, time.Minute)
+	now := time.Unix(0, 0)
+	rl.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := rl.allow("x"); !ok {
+			t.Fatalf("request %d denied within limit", i)
+		}
+	}
+	ok, retry := rl.allow("x")
+	if ok {
+		t.Fatal("third request allowed")
+	}
+	if retry <= 0 || retry > time.Minute {
+		t.Fatalf("retry hint %v", retry)
+	}
+	// A different endpoint has its own budget.
+	if ok, _ := rl.allow("y"); !ok {
+		t.Fatal("separate endpoint throttled")
+	}
+	// The window resets.
+	now = now.Add(2 * time.Minute)
+	if ok, _ := rl.allow("x"); !ok {
+		t.Fatal("request denied after window reset")
+	}
+}
+
+func TestRateLimiterDisabled(t *testing.T) {
+	var rl *rateLimiter
+	if ok, _ := rl.allow("x"); !ok {
+		t.Fatal("nil limiter throttled")
+	}
+	rl = newRateLimiter(0, time.Minute)
+	if ok, _ := rl.allow("x"); !ok {
+		t.Fatal("zero-limit limiter throttled")
+	}
+}
+
+func TestServerRateLimitsRESTEndpoints(t *testing.T) {
+	cfg := socialnet.DefaultConfig()
+	cfg.NumAccounts = 300
+	w, err := socialnet.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(socialnet.NewEngine(w), WithRateLimit(3, time.Hour))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Raw requests (bypassing the client's retry) to observe the 429.
+	url := ts.URL + "/1.1/trends.json"
+	var last *http.Response
+	for i := 0; i < 4; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		last = resp
+	}
+	if last.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("4th request status %d, want 429", last.StatusCode)
+	}
+	if last.Header.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+}
+
+func TestClientRetriesAfter429(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if hits == 1 {
+			w.Header().Set("Retry-After", "0")
+			writeErr(w, http.StatusTooManyRequests, "slow down")
+			return
+		}
+		writeJSON(w, SimStats{Hours: 7})
+	}))
+	defer srv.Close()
+
+	client := NewClient(srv.URL, srv.Client())
+	client.MaxBackoff = 50 * time.Millisecond
+	stats, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatalf("Stats after 429: %v", err)
+	}
+	if stats.Hours != 7 || hits != 2 {
+		t.Fatalf("stats=%+v hits=%d", stats, hits)
+	}
+}
+
+func TestClientGivesUpAfterSecond429(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		writeErr(w, http.StatusTooManyRequests, "slow down")
+	}))
+	defer srv.Close()
+
+	client := NewClient(srv.URL, srv.Client())
+	client.MaxBackoff = 20 * time.Millisecond
+	_, err := client.Stats(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusTooManyRequests {
+		t.Fatalf("want persistent 429 error, got %v", err)
+	}
+}

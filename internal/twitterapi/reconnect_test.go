@@ -1,0 +1,143 @@
+package twitterapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyStream serves statuses/filter but closes the connection after one
+// tweet, forcing the client to reconnect.
+type flakyStream struct {
+	connects atomic.Int64
+	tweets   atomic.Int64
+}
+
+func (f *flakyStream) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/1.1/statuses/filter.json" {
+		http.NotFound(w, r)
+		return
+	}
+	f.connects.Add(1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(Tweet{ID: f.tweets.Add(1)})
+	if flusher, ok := w.(http.Flusher); ok {
+		flusher.Flush()
+	}
+	// Return, closing this response — a dropped stream.
+}
+
+func TestStreamReconnectsAfterDrop(t *testing.T) {
+	flaky := &flakyStream{}
+	srv := httptest.NewServer(flaky)
+	defer srv.Close()
+
+	client := NewClient(srv.URL, srv.Client())
+	client.InitialBackoff = time.Millisecond
+	client.MaxBackoff = 5 * time.Millisecond
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	var got []int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = client.Stream(ctx, StreamFilter{}, func(tw Tweet) {
+			mu.Lock()
+			got = append(got, tw.ID)
+			if len(got) >= 4 {
+				cancel()
+			}
+			mu.Unlock()
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		cancel()
+		<-done
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) < 4 {
+		t.Fatalf("received %d tweets across reconnects, want >= 4", len(got))
+	}
+	if flaky.connects.Load() < 4 {
+		t.Fatalf("connected %d times, want >= 4", flaky.connects.Load())
+	}
+	// Tweets arrive in connection order: ids increase.
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("out-of-order delivery: %v", got)
+		}
+	}
+}
+
+// rejectingServer answers statuses/filter with a 400 — a client error the
+// Stream loop must NOT retry.
+type rejectingServer struct {
+	hits atomic.Int64
+}
+
+func (s *rejectingServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.hits.Add(1)
+	writeErr(w, http.StatusBadRequest, "bad filter")
+}
+
+func TestStreamStopsOnClientError(t *testing.T) {
+	rejecting := &rejectingServer{}
+	srv := httptest.NewServer(rejecting)
+	defer srv.Close()
+
+	client := NewClient(srv.URL, srv.Client())
+	client.InitialBackoff = time.Millisecond
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := client.Stream(ctx, StreamFilter{}, func(Tweet) {})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != 400 {
+		t.Fatalf("want 400 APIError, got %v", err)
+	}
+	if rejecting.hits.Load() != 1 {
+		t.Fatalf("client retried a 400: %d hits", rejecting.hits.Load())
+	}
+}
+
+func TestStreamContextCancellation(t *testing.T) {
+	// A server that accepts the stream but never sends anything.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		if flusher, ok := w.(http.Flusher); ok {
+			flusher.Flush()
+		}
+		<-r.Context().Done()
+	}))
+	defer srv.Close()
+
+	client := NewClient(srv.URL, srv.Client())
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- client.Stream(ctx, StreamFilter{}, func(Tweet) {})
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stream did not return after cancellation")
+	}
+}

@@ -1,0 +1,154 @@
+package twitterapi
+
+import (
+	"context"
+	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+)
+
+// RemoteScreener adapts the REST client to the pseudo-honeypot monitor's
+// Screener interface, so node selection can run against a remote twitterd
+// exactly as it runs against an in-process world. Lookup failures surface
+// as empty results; the monitor's fallback logic tolerates short batches.
+type RemoteScreener struct {
+	Client *Client
+	// Timeout bounds each search call (default 10s).
+	Timeout time.Duration
+}
+
+// Screen implements the monitor's screening through /1.1/users/search.
+func (s *RemoteScreener) Screen(q socialnet.ScreenQuery, _ time.Time) []*socialnet.Account {
+	timeout := s.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	sq := SearchQuery{
+		Attr:       q.Selector.Attr.Key(),
+		Count:      q.Count,
+		Tolerance:  q.Tolerance,
+		ActiveOnly: q.ActiveOnly,
+	}
+	switch q.Selector.Attr {
+	case socialnet.AttrHashtag:
+		sq.Category = q.Selector.Category.String()
+	case socialnet.AttrTrend:
+		sq.Trend = trendName(q.Selector.Trend)
+	case socialnet.AttrRandom:
+	default:
+		sq.Value = q.Selector.Value
+	}
+	users, err := s.Client.UsersSearch(ctx, sq)
+	if err != nil {
+		return nil
+	}
+	out := make([]*socialnet.Account, 0, len(users))
+	for i := range users {
+		a := DecodeUser(&users[i])
+		if a == nil {
+			continue
+		}
+		if _, excluded := q.Exclude[a.ID]; excluded {
+			continue
+		}
+		if q.MaxFriendFollowerRatio > 0 &&
+			a.FriendFollowerRatio() > q.MaxFriendFollowerRatio {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// DecodeTweet reconstructs a tweet (and its author profile) from the wire
+// form, for monitors running against a remote stream. Oracle fields are
+// honoured only when present (evaluation streams).
+func DecodeTweet(t *Tweet) (*socialnet.Tweet, *socialnet.Account) {
+	if t == nil {
+		return nil, nil
+	}
+	createdAt, err := time.Parse(time.RFC3339Nano, t.CreatedAt)
+	if err != nil {
+		createdAt = time.Time{}
+	}
+	out := &socialnet.Tweet{
+		ID:         socialnet.TweetID(t.ID),
+		AuthorID:   socialnet.AccountID(t.User.ID),
+		CreatedAt:  createdAt,
+		Kind:       parseKind(t.Kind),
+		Source:     parseSource(t.Source),
+		Text:       t.Text,
+		Hashtags:   append([]string(nil), t.Entities.Hashtags...),
+		URLs:       append([]string(nil), t.Entities.URLs...),
+		Topic:      t.Topic,
+		CampaignID: socialnet.NoCampaign,
+	}
+	for _, m := range t.Entities.Mentions {
+		out.Mentions = append(out.Mentions, socialnet.AccountID(m.ID))
+	}
+	if t.Spam != nil {
+		out.Spam = *t.Spam
+	}
+	if t.CampaignID != nil {
+		out.CampaignID = *t.CampaignID
+	}
+	return out, DecodeUser(&t.User)
+}
+
+func parseKind(s string) socialnet.TweetKind {
+	switch s {
+	case "retweet":
+		return socialnet.KindRetweet
+	case "quote":
+		return socialnet.KindQuote
+	default:
+		return socialnet.KindTweet
+	}
+}
+
+func parseSource(s string) socialnet.Source {
+	switch s {
+	case "web":
+		return socialnet.SourceWeb
+	case "mobile":
+		return socialnet.SourceMobile
+	case "third-party":
+		return socialnet.SourceThirdParty
+	default:
+		return socialnet.SourceOther
+	}
+}
+
+// DecodeUser reconstructs an account profile from its wire form. The
+// result carries only the publicly observable fields (never Kind or
+// campaign ground truth) and is detached from any world.
+func DecodeUser(u *User) *socialnet.Account {
+	if u == nil {
+		return nil
+	}
+	createdAt, err := time.Parse(time.RFC3339, u.CreatedAt)
+	if err != nil {
+		createdAt = time.Time{}
+	}
+	a := &socialnet.Account{
+		ID:                  socialnet.AccountID(u.ID),
+		ScreenName:          u.ScreenName,
+		Name:                u.Name,
+		Description:         u.Description,
+		CreatedAt:           createdAt,
+		FriendsCount:        u.FriendsCount,
+		FollowersCount:      u.FollowersCount,
+		ListedCount:         u.ListedCount,
+		FavouritesCount:     u.FavouritesCount,
+		StatusesCount:       u.StatusesCount,
+		Verified:            u.Verified,
+		DefaultProfileImage: u.DefaultProfile,
+		Suspended:           u.Suspended,
+		Kind:                socialnet.KindNormal, // wire carries no ground truth
+		CampaignID:          socialnet.NoCampaign,
+	}
+	return a
+}

@@ -1,0 +1,408 @@
+package twitterapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+)
+
+// streamBuffer is the per-connection tweet buffer. It absorbs the burst an
+// hour-tick produces; on overflow the server drops tweets and counts them,
+// mirroring the real Streaming API's limit notices for slow consumers.
+const streamBuffer = 4096
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithOracle exposes ground-truth spam fields on streamed tweets. Only
+// evaluation harnesses should enable this.
+func WithOracle() ServerOption {
+	return func(s *Server) { s.oracle = true }
+}
+
+// WithSeed sets the seed for the server's screening rng.
+func WithSeed(seed int64) ServerOption {
+	return func(s *Server) { s.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// Server exposes a socialnet Engine over the emulated Twitter API. All
+// engine access is serialized through an internal mutex, so handlers may
+// run concurrently.
+type Server struct {
+	mu     sync.Mutex
+	engine *socialnet.Engine
+	rng    *rand.Rand
+	oracle bool
+
+	streamsMu sync.Mutex
+	streams   map[int]*stream
+	nextID    int
+
+	limiter *rateLimiter
+	mux     *http.ServeMux
+}
+
+// stream is one connected streaming client.
+type stream struct {
+	mentionsOf map[socialnet.AccountID]struct{}
+	follow     map[socialnet.AccountID]struct{}
+	all        bool
+	ch         chan *socialnet.Tweet
+	dropped    int64
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// NewServer wraps engine in an API server.
+func NewServer(engine *socialnet.Engine, opts ...ServerOption) *Server {
+	s := &Server{
+		engine:  engine,
+		rng:     rand.New(rand.NewSource(42)),
+		streams: make(map[int]*stream),
+		mux:     http.NewServeMux(),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	// One engine subscription fans out to every connected stream.
+	engine.Subscribe(s.dispatch)
+
+	s.mux.HandleFunc("POST /1.1/statuses/filter.json", s.handleFilter)
+	s.mux.HandleFunc("GET /1.1/users/show.json", s.rateLimited("users/show", s.handleUserShow))
+	s.mux.HandleFunc("GET /1.1/users/lookup.json", s.rateLimited("users/lookup", s.handleUserLookup))
+	s.mux.HandleFunc("GET /1.1/users/search.json", s.rateLimited("users/search", s.handleUserSearch))
+	s.mux.HandleFunc("GET /1.1/trends.json", s.rateLimited("trends", s.handleTrends))
+	s.mux.HandleFunc("POST /sim/advance.json", s.handleAdvance)
+	s.mux.HandleFunc("GET /sim/stats.json", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Advance runs n simulated hours. Safe for concurrent use.
+func (s *Server) Advance(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.engine.RunHours(n)
+}
+
+// dispatch fans a generated tweet out to connected streams. It runs inside
+// the engine's RunHours (under s.mu).
+func (s *Server) dispatch(t *socialnet.Tweet) {
+	s.streamsMu.Lock()
+	defer s.streamsMu.Unlock()
+	for _, st := range s.streams {
+		if !st.wants(t) {
+			continue
+		}
+		select {
+		case st.ch <- t:
+		default:
+			st.dropped++
+		}
+	}
+}
+
+func (st *stream) wants(t *socialnet.Tweet) bool {
+	if st.all {
+		return true
+	}
+	if _, ok := st.follow[t.AuthorID]; ok {
+		return true
+	}
+	for _, m := range t.Mentions {
+		if _, ok := st.mentionsOf[m]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// handleFilter implements POST /1.1/statuses/filter.json. Parameters:
+//
+//	track:  comma-separated @screen_name filters (mention tracking, as the
+//	        paper configures Tweepy: "@user_account_name")
+//	follow: comma-separated user ids whose own posts are delivered
+//
+// With neither parameter the full firehose is delivered. The response is
+// an unbounded NDJSON stream.
+func (s *Server) handleFilter(w http.ResponseWriter, r *http.Request) {
+	if err := r.ParseForm(); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad form: "+err.Error())
+		return
+	}
+	st := &stream{
+		mentionsOf: make(map[socialnet.AccountID]struct{}),
+		follow:     make(map[socialnet.AccountID]struct{}),
+		ch:         make(chan *socialnet.Tweet, streamBuffer),
+	}
+	track := r.Form.Get("track")
+	follow := r.Form.Get("follow")
+	if track == "" && follow == "" {
+		st.all = true
+	}
+	s.mu.Lock()
+	world := s.engine.World()
+	for _, name := range splitNonEmpty(track) {
+		name = strings.TrimPrefix(strings.TrimSpace(name), "@")
+		if a := world.ByScreenName(name); a != nil {
+			st.mentionsOf[a.ID] = struct{}{}
+			st.follow[a.ID] = struct{}{}
+		}
+	}
+	for _, idStr := range splitNonEmpty(follow) {
+		id, err := strconv.ParseInt(strings.TrimSpace(idStr), 10, 64)
+		if err != nil {
+			continue
+		}
+		st.follow[socialnet.AccountID(id)] = struct{}{}
+	}
+	s.mu.Unlock()
+
+	s.streamsMu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.streams[id] = st
+	s.streamsMu.Unlock()
+	defer func() {
+		s.streamsMu.Lock()
+		delete(s.streams, id)
+		s.streamsMu.Unlock()
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case t := <-st.ch:
+			s.mu.Lock()
+			wire := encodeTweet(t, s.engine.World().Account, s.oracle)
+			s.mu.Unlock()
+			if err := enc.Encode(wire); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}
+
+// handleUserShow implements GET /1.1/users/show.json with screen_name or
+// user_id.
+func (s *Server) handleUserShow(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	world := s.engine.World()
+	var a *socialnet.Account
+	if name := r.URL.Query().Get("screen_name"); name != "" {
+		a = world.ByScreenName(strings.TrimPrefix(name, "@"))
+	} else if idStr := r.URL.Query().Get("user_id"); idStr != "" {
+		id, err := strconv.ParseInt(idStr, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad user_id")
+			return
+		}
+		a = world.Account(socialnet.AccountID(id))
+	}
+	if a == nil {
+		writeErr(w, http.StatusNotFound, "user not found")
+		return
+	}
+	writeJSON(w, encodeUser(a))
+}
+
+// handleUserLookup implements GET /1.1/users/lookup.json?user_id=1,2,3.
+// Unknown ids are skipped, as in the real API.
+func (s *Server) handleUserLookup(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	world := s.engine.World()
+	var users []User
+	for _, idStr := range splitNonEmpty(r.URL.Query().Get("user_id")) {
+		id, err := strconv.ParseInt(strings.TrimSpace(idStr), 10, 64)
+		if err != nil {
+			continue
+		}
+		if a := world.Account(socialnet.AccountID(id)); a != nil {
+			users = append(users, encodeUser(a))
+		}
+	}
+	writeJSON(w, users)
+}
+
+// handleUserSearch implements GET /1.1/users/search.json — the idealized
+// account-screening endpoint (DESIGN.md §2). Parameters:
+//
+//	attr:      attribute key (socialnet.Attribute.Key)
+//	value:     numeric sample value (profile attributes)
+//	category:  hashtag category name (attr=hashtag)
+//	trend:     trend state name (attr=trend)
+//	count:     number of accounts
+//	tolerance: relative band (optional)
+//	active:    1 to require Active status
+func (s *Server) handleUserSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	attr, err := socialnet.ParseAttribute(q.Get("attr"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	count, err := strconv.Atoi(q.Get("count"))
+	if err != nil || count <= 0 {
+		writeErr(w, http.StatusBadRequest, "bad count")
+		return
+	}
+	sel := socialnet.Selector{Attr: attr}
+	switch attr {
+	case socialnet.AttrHashtag:
+		sel.Category, err = parseCategory(q.Get("category"))
+	case socialnet.AttrTrend:
+		sel.Trend, err = parseTrend(q.Get("trend"))
+	case socialnet.AttrRandom:
+	default:
+		sel.Value, err = strconv.ParseFloat(q.Get("value"), 64)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	query := socialnet.ScreenQuery{
+		Selector:   sel,
+		Count:      count,
+		ActiveOnly: q.Get("active") == "1",
+	}
+	if tol := q.Get("tolerance"); tol != "" {
+		query.Tolerance, err = strconv.ParseFloat(tol, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad tolerance")
+			return
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	matches := s.engine.World().Screen(query, s.engine.Now(), s.rng)
+	users := make([]User, 0, len(matches))
+	for _, a := range matches {
+		users = append(users, encodeUser(a))
+	}
+	writeJSON(w, users)
+}
+
+// handleTrends implements GET /1.1/trends.json?state=...
+func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stateName := r.URL.Query().Get("state")
+	var trends []Trend
+	for _, topic := range s.engine.World().Trends().Topics() {
+		if stateName != "" && trendName(topic.State) != stateName {
+			continue
+		}
+		trends = append(trends, Trend{
+			Name:   topic.Name,
+			State:  trendName(topic.State),
+			Volume: topic.Volume,
+		})
+	}
+	writeJSON(w, trends)
+}
+
+// handleAdvance implements POST /sim/advance.json?hours=N.
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	hours, err := strconv.Atoi(r.URL.Query().Get("hours"))
+	if err != nil || hours <= 0 || hours > 10000 {
+		writeErr(w, http.StatusBadRequest, "bad hours")
+		return
+	}
+	s.Advance(hours)
+	s.writeStats(w)
+}
+
+// handleStats implements GET /sim/stats.json.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeStats(w)
+}
+
+func (s *Server) writeStats(w http.ResponseWriter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stats := s.engine.Stats()
+	writeJSON(w, SimStats{
+		Hours:         stats.Hours,
+		TweetsTotal:   stats.TweetsTotal,
+		MentionTweets: stats.MentionTweets,
+		Suspensions:   stats.Suspensions,
+		Now:           s.engine.Now().Format(time.RFC3339),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Connection-level failure; nothing else to do.
+		return
+	}
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(APIError{Code: code, Message: msg})
+}
+
+func splitNonEmpty(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if strings.TrimSpace(p) != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseCategory(name string) (socialnet.HashtagCategory, error) {
+	if name == socialnet.HashtagNone.String() {
+		return socialnet.HashtagNone, nil
+	}
+	for _, c := range socialnet.HashtagCategories {
+		if c.String() == name {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("twitterapi: unknown hashtag category %q", name)
+}
+
+func parseTrend(name string) (socialnet.TrendState, error) {
+	for _, s := range socialnet.TrendStates {
+		if trendName(s) == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("twitterapi: unknown trend state %q", name)
+}
+
+// trendName is the wire name of a trend state (hyphenated, no spaces).
+func trendName(s socialnet.TrendState) string {
+	return strings.ReplaceAll(s.String(), " ", "-")
+}
