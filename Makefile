@@ -1,0 +1,34 @@
+# Developer entry points. `make check` is the gate CI runs: vet, build,
+# the full test suite, and a race-detector pass over every package the
+# parallel execution layer touches.
+
+GO ?= go
+
+RACE_PKGS := ./internal/parallel/ \
+	./internal/ml/... \
+	./internal/label/ \
+	./internal/core/ \
+	./internal/imagehash/
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# bench runs the parallel-layer speedup benchmarks; the
+# speedup-vs-1worker metric compares the default worker count against a
+# single-worker baseline (expect ~1.0 on a single-core machine).
+bench:
+	$(GO) test -run NONE -bench 'ForestFit|CrossValidate|DetectorClassify' \
+		./internal/ml/forest/ ./internal/ml/ ./internal/core/

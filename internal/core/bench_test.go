@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/label"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/parallel"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+)
+
+// BenchmarkDetectorClassify times batch classification of a captured
+// corpus at the default worker count and reports the speedup over a
+// single-worker pass (driven through the PH_WORKERS knob) as a custom
+// metric.
+func BenchmarkDetectorClassify(b *testing.B) {
+	cfg := socialnet.DefaultConfig()
+	cfg.NumAccounts = 2000
+	cfg.OrganicTweetsPerHour = 400
+	w, err := socialnet.NewWorld(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := socialnet.NewEngine(w)
+	m := NewMonitor(MonitorConfig{
+		Specs: RandomSpec(120),
+		Seed:  1,
+	}, &LocalScreener{World: w, Rng: rand.New(rand.NewSource(2))})
+	detach := Attach(m, e)
+	defer detach()
+	e.RunHours(8)
+
+	captures := m.Captures()
+	tweets := make([]*socialnet.Tweet, len(captures))
+	for i, c := range captures {
+		tweets[i] = c.Tweet
+	}
+	labels := label.NewPipeline(label.DefaultConfig()).
+		Run(label.NewCorpus(tweets, w.Account), label.NewNoisyOracle(w, 0.02, 3))
+	clf, err := NewClassifier(ClassifierRF, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	det := NewDetector(clf)
+	if err := det.Train(captures, labels); err != nil {
+		b.Fatal(err)
+	}
+
+	classifyOnce := func(workers string) time.Duration {
+		b.Setenv(parallel.EnvWorkers, workers)
+		start := time.Now()
+		det.Classify(captures)
+		return time.Since(start)
+	}
+	classifyOnce("1") // warm caches
+	seq := classifyOnce("1")
+	b.Setenv(parallel.EnvWorkers, "")
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Classify(captures)
+	}
+	par := b.Elapsed() / time.Duration(b.N)
+	if par > 0 {
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup-vs-1worker")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/knn"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/svm"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/tree"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/parallel"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
 )
 
@@ -110,14 +111,24 @@ func (d *Detector) FeatureImportance() []float64 {
 	return f.FeatureImportance(features.NumFeatures)
 }
 
-// Classify returns a verdict per capture, index-aligned.
+// Classify returns a verdict per capture, index-aligned. The batch fans
+// out over the process-default worker pool in contiguous chunks; every
+// classifier family's Predict is read-only after Fit, so verdicts are
+// identical to a sequential pass at any worker count.
 func (d *Detector) Classify(captures []*Capture) []bool {
 	verdicts := make([]bool, len(captures))
-	for i, c := range captures {
-		verdicts[i] = d.clf.Predict(c.Vector[:])
-	}
+	parallel.ForEachChunk(len(captures), 0, classifyMinChunk, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			verdicts[i] = d.clf.Predict(captures[i].Vector[:])
+		}
+	})
 	return verdicts
 }
+
+// classifyMinChunk keeps classification chunks large enough that pool
+// dispatch overhead stays negligible next to each prediction (a 70-tree
+// vote for the deployed RF).
+const classifyMinChunk = 16
 
 // Attach wires a monitor to an in-process engine: the node set rotates at
 // every simulated hour start and the monitor filters the engine's firehose.

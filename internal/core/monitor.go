@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sort"
 	"time"
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/features"
@@ -113,6 +114,12 @@ type Monitor struct {
 
 	extractor *features.Extractor
 	captures  []*Capture
+
+	// scratchGroups and scratchAttrs are reused across OnTweet calls so
+	// the hot stream path allocates nothing on a miss and only the
+	// retained Capture fields on a hit.
+	scratchGroups []int
+	scratchAttrs  []string
 
 	rotations int
 }
@@ -226,33 +233,34 @@ func (m *Monitor) AccrueHours(period time.Duration) {
 // API). Tweets are captured when they mention a current node or are
 // authored by one (the paper's Categories (1)–(3)).
 func (m *Monitor) OnTweet(t *socialnet.Tweet, lookup func(socialnet.AccountID) *socialnet.Account) {
-	groupSet := make(map[int]struct{})
+	// The vast majority of stream tweets miss the node set: collect the
+	// matched group indices into a reused scratch slice so the miss path
+	// allocates nothing.
 	var receiver *socialnet.Account
-
+	scratch := m.scratchGroups[:0]
 	for _, mention := range t.Mentions {
 		if gis, ok := m.nodes[mention]; ok {
-			for _, gi := range gis {
-				groupSet[gi] = struct{}{}
-			}
+			scratch = appendUnique(scratch, gis)
 			if receiver == nil {
 				receiver = lookup(mention)
 			}
 		}
 	}
 	if gis, ok := m.nodes[t.AuthorID]; ok {
-		for _, gi := range gis {
-			groupSet[gi] = struct{}{}
-		}
+		scratch = appendUnique(scratch, gis)
 	}
-	if len(groupSet) == 0 {
+	if len(scratch) == 0 {
+		m.scratchGroups = scratch
 		return
 	}
+	// Deterministic group order (the former set was map-ordered).
+	sort.Ints(scratch)
 
 	sender := lookup(t.AuthorID)
-	groups := make([]int, 0, len(groupSet))
-	attrKeys := make([]string, 0, len(groupSet))
-	for gi := range groupSet {
-		groups = append(groups, gi)
+	groups := make([]int, len(scratch))
+	copy(groups, scratch)
+	attrKeys := m.scratchAttrs[:0]
+	for _, gi := range groups {
 		g := m.groups[gi]
 		g.Tweets++
 		g.Senders[t.AuthorID] = struct{}{}
@@ -265,6 +273,8 @@ func (m *Monitor) OnTweet(t *socialnet.Tweet, lookup func(socialnet.AccountID) *
 		Receiver: receiver,
 		AttrKeys: attrKeys,
 	})
+	m.scratchGroups = scratch[:0]
+	m.scratchAttrs = attrKeys[:0]
 	m.captures = append(m.captures, &Capture{
 		Tweet:    t,
 		Sender:   sender,
@@ -272,6 +282,24 @@ func (m *Monitor) OnTweet(t *socialnet.Tweet, lookup func(socialnet.AccountID) *
 		Groups:   groups,
 		Vector:   vec,
 	})
+}
+
+// appendUnique appends the group indices from gis not already in dst.
+// Group fan-out per tweet is tiny, so the linear scan beats a set.
+func appendUnique(dst []int, gis []int) []int {
+	for _, gi := range gis {
+		dup := false
+		for _, have := range dst {
+			if have == gi {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, gi)
+		}
+	}
+	return dst
 }
 
 // AttributeSpam records detector verdicts into the per-group statistics

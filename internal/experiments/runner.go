@@ -9,6 +9,7 @@ import (
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/honeypot"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/label"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/parallel"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
 )
 
@@ -150,8 +151,14 @@ func (r *Runner) RunTableIV() (map[core.ClassifierName]ml.Metrics, error) {
 		idx := rand.New(rand.NewSource(1)).Perm(ds.Len())[:max]
 		ds = ds.Subset(idx)
 	}
-	out := make(map[core.ClassifierName]ml.Metrics, len(core.ClassifierNames))
-	for _, name := range core.ClassifierNames {
+	// The five families are independent cross-validation problems; fan
+	// them out over the worker pool. Each family's folds also run
+	// concurrently (ml.CrossValidate) and the RF's trees train in
+	// parallel below that, all deterministically seeded, so the table is
+	// bit-identical at any worker count.
+	results := make([]ml.Metrics, len(core.ClassifierNames))
+	err = parallel.ForEachErr(len(core.ClassifierNames), 0, func(i int) error {
+		name := core.ClassifierNames[i]
 		factory := func() ml.Classifier {
 			clf, ferr := core.NewClassifier(name, 7)
 			if ferr != nil {
@@ -161,9 +168,17 @@ func (r *Runner) RunTableIV() (map[core.ClassifierName]ml.Metrics, error) {
 		}
 		metrics, cvErr := ml.CrossValidate(ds, 10, factory, 11)
 		if cvErr != nil {
-			return nil, fmt.Errorf("cross-validate %s: %w", name, cvErr)
+			return fmt.Errorf("cross-validate %s: %w", name, cvErr)
 		}
-		out[name] = metrics
+		results[i] = metrics
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[core.ClassifierName]ml.Metrics, len(core.ClassifierNames))
+	for i, name := range core.ClassifierNames {
+		out[name] = results[i]
 	}
 	r.tableIV = out
 	return out, nil
@@ -309,9 +324,11 @@ func (r *Runner) RunAdvanced() (*AdvancedRun, error) {
 }
 
 // tally classifies the monitor's captures added since index done and folds
-// garnered spammers into seen. Only mention-received spam counts — the
-// Figure 6 comparison measures attraction, so a harnessed account's own
-// spam (Category (1)) garners nothing. It returns the new done index.
+// garnered spammers into seen. Each hour's fresh captures go through the
+// detector's chunked parallel batch path (Detector.Classify), the same one
+// the main run uses. Only mention-received spam counts — the Figure 6
+// comparison measures attraction, so a harnessed account's own spam
+// (Category (1)) garners nothing. It returns the new done index.
 func (r *Runner) tally(det *core.Detector, m *core.Monitor, seen map[socialnet.AccountID]struct{}, done int, spams *int) int {
 	captures := m.Captures()
 	fresh := captures[done:]

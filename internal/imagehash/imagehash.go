@@ -15,6 +15,9 @@ import (
 	"fmt"
 	"math/bits"
 	"math/rand"
+	"sync/atomic"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/parallel"
 )
 
 const (
@@ -208,11 +211,19 @@ func clampByte(v float64) uint8 {
 // Grouper clusters hashes whose Hamming distance to a group representative
 // is at most the threshold. Groups are identified by small integer ids.
 // This mirrors the paper's image-clustering step: linear scan against group
-// representatives, which is accurate at the dataset sizes involved.
+// representatives, which is accurate at the dataset sizes involved. Once
+// the representative list grows past a cutoff the scan fans out over the
+// worker pool, still returning the lowest matching group id, so grouping
+// is identical at any worker count.
 type Grouper struct {
 	threshold int
+	workers   int
 	reps      []Hash
 }
+
+// grouperParallelMin is the representative count below which a sequential
+// scan beats pool dispatch.
+const grouperParallelMin = 512
 
 // NewGrouper returns a Grouper with the given Hamming threshold; a
 // non-positive threshold uses DefaultThreshold.
@@ -223,16 +234,54 @@ func NewGrouper(threshold int) *Grouper {
 	return &Grouper{threshold: threshold}
 }
 
+// SetWorkers bounds the scan pool; 0 (the default) resolves the process
+// default (PH_WORKERS or GOMAXPROCS).
+func (g *Grouper) SetWorkers(workers int) { g.workers = workers }
+
 // Add assigns h to an existing group within the threshold or creates a new
-// group, returning the group id.
+// group, returning the group id. When several representatives are within
+// the threshold, the lowest group id wins.
 func (g *Grouper) Add(h Hash) int {
-	for id, rep := range g.reps {
-		if rep.Distance(h) <= g.threshold {
+	if len(g.reps) >= grouperParallelMin {
+		if id := g.findParallel(h); id >= 0 {
 			return id
+		}
+	} else {
+		for id, rep := range g.reps {
+			if rep.Distance(h) <= g.threshold {
+				return id
+			}
 		}
 	}
 	g.reps = append(g.reps, h)
 	return len(g.reps) - 1
+}
+
+// findParallel scans the representatives in parallel chunks and returns
+// the lowest matching group id, or -1.
+func (g *Grouper) findParallel(h Hash) int {
+	best := int64(len(g.reps))
+	parallel.ForEachChunk(len(g.reps), g.workers, grouperParallelMin/4, func(lo, hi int) {
+		if int64(lo) >= atomic.LoadInt64(&best) {
+			return // a lower chunk already matched
+		}
+		for id := lo; id < hi; id++ {
+			if g.reps[id].Distance(h) <= g.threshold {
+				// Keep the minimum matching id across chunks.
+				for {
+					cur := atomic.LoadInt64(&best)
+					if int64(id) >= cur || atomic.CompareAndSwapInt64(&best, cur, int64(id)) {
+						break
+					}
+				}
+				return
+			}
+		}
+	})
+	if int(best) == len(g.reps) {
+		return -1
+	}
+	return int(best)
 }
 
 // Len returns the number of groups formed so far.

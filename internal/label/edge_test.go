@@ -72,7 +72,7 @@ func TestPipelineDeterministicAcrossRuns(t *testing.T) {
 }
 
 func TestClusterTextsEmpty(t *testing.T) {
-	if got := clusterTexts(nil, 0.8, 1); got != nil {
+	if got := clusterTexts(nil, 0.8, 1, 0); got != nil {
 		t.Fatalf("clusterTexts(nil) = %v", got)
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/imagehash"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/minhash"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/parallel"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/textutil"
 )
@@ -170,6 +171,11 @@ type Config struct {
 	// tweets (the verification of already-labeled data is additional).
 	// Zero means a tenth of the corpus.
 	ManualBudget int
+
+	// Workers bounds the clustering stage's worker pool; 0 resolves the
+	// process default (PH_WORKERS or GOMAXPROCS). Labels are
+	// bit-identical at any worker count.
+	Workers int
 }
 
 // DefaultConfig returns the paper's thresholds.
@@ -255,9 +261,19 @@ func (p *Pipeline) labelSuspended(c *Corpus, r *Result) {
 // labelClustering groups users by profile image, screen-name shape, and
 // description, groups tweets by near-duplicate content, and propagates
 // spammer labels through the groups (paper §IV-B, clustering method).
+// The user and tweet clusterings are independent of each other and of the
+// Result, so they run concurrently; the propagation below stays
+// sequential over their deterministically ordered output.
 func (p *Pipeline) labelClustering(c *Corpus, r *Result) {
-	userGroups := p.clusterUsers(c)
-	tweetGroups := p.clusterTweets(c)
+	var userGroups [][]socialnet.AccountID
+	var tweetGroups [][]*socialnet.Tweet
+	parallel.ForEach(2, p.cfg.Workers, func(i int) {
+		if i == 0 {
+			userGroups = p.clusterUsers(c)
+		} else {
+			tweetGroups = p.clusterTweets(c)
+		}
+	})
 
 	// Propagate to fixpoint so the result is independent of group order:
 	// tweet groups feed user groups and back until nothing changes.
@@ -325,12 +341,33 @@ func sortedUserIDs(c *Corpus) []socialnet.AccountID {
 }
 
 // clusterUsers returns user groups from the three profile clusterings.
+// The image, screen-name, and description passes are mutually independent
+// and run concurrently; their groups concatenate in a fixed pass order so
+// the result is identical at any worker count.
 func (p *Pipeline) clusterUsers(c *Corpus) [][]socialnet.AccountID {
-	var groups [][]socialnet.AccountID
 	ids := sortedUserIDs(c)
+	passes := make([][][]socialnet.AccountID, 3)
+	parallel.ForEach(len(passes), p.cfg.Workers, func(pass int) {
+		switch pass {
+		case 0:
+			passes[pass] = p.clusterByImage(c, ids)
+		case 1:
+			passes[pass] = p.clusterByName(c, ids)
+		case 2:
+			passes[pass] = p.clusterByDescription(c, ids)
+		}
+	})
+	var groups [][]socialnet.AccountID
+	for _, pass := range passes {
+		groups = append(groups, pass...)
+	}
+	return groups
+}
 
-	// 1. Profile images via dHash + Hamming threshold.
+// clusterByImage groups profile images via dHash + Hamming threshold.
+func (p *Pipeline) clusterByImage(c *Corpus, ids []socialnet.AccountID) [][]socialnet.AccountID {
 	imgGrouper := imagehash.NewGrouper(p.cfg.ImageHammingThreshold)
+	imgGrouper.SetWorkers(p.cfg.Workers)
 	imgGroups := make(map[int][]socialnet.AccountID)
 	var imgOrder []int
 	for _, id := range ids {
@@ -344,21 +381,28 @@ func (p *Pipeline) clusterUsers(c *Corpus) [][]socialnet.AccountID {
 		}
 		imgGroups[g] = append(imgGroups[g], id)
 	}
+	var groups [][]socialnet.AccountID
 	for _, gi := range imgOrder {
 		if g := imgGroups[gi]; len(g) >= 2 {
 			groups = append(groups, g)
 		}
 	}
+	return groups
+}
 
-	// 2. Screen-name Σ-Seq groups with at least NameGroupMin members.
-	// Two hygiene rules keep the false-positive rate low (the paper's
-	// regex-learned patterns are similarly specific): a usable shape must
-	// mix at least two character classes, and a shape shared by a large
-	// fraction of the corpus carries no campaign signal.
+// clusterByName groups screen-name Σ-Seq shapes with at least NameGroupMin
+// members. Two hygiene rules keep the false-positive rate low (the paper's
+// regex-learned patterns are similarly specific): a usable shape must mix
+// at least two character classes, and a shape shared by a large fraction
+// of the corpus carries no campaign signal.
+func (p *Pipeline) clusterByName(c *Corpus, ids []socialnet.AccountID) [][]socialnet.AccountID {
+	seqs := parallel.Map(len(ids), p.cfg.Workers, func(i int) string {
+		return textutil.ClassSeqWithRunLengths(c.Users[ids[i]].ScreenName)
+	})
 	nameGroups := make(map[string][]socialnet.AccountID)
 	var nameOrder []string
-	for _, id := range ids {
-		seq := textutil.ClassSeqWithRunLengths(c.Users[id].ScreenName)
+	for i, id := range ids {
+		seq := seqs[i]
 		if len(nameGroups[seq]) == 0 {
 			nameOrder = append(nameOrder, seq)
 		}
@@ -368,6 +412,7 @@ func (p *Pipeline) clusterUsers(c *Corpus) [][]socialnet.AccountID {
 	if maxNameGroup < 2*p.cfg.NameGroupMin {
 		maxNameGroup = 2 * p.cfg.NameGroupMin
 	}
+	var groups [][]socialnet.AccountID
 	for _, seq := range nameOrder {
 		g := nameGroups[seq]
 		if len(g) < p.cfg.NameGroupMin || len(g) > maxNameGroup {
@@ -378,19 +423,25 @@ func (p *Pipeline) clusterUsers(c *Corpus) [][]socialnet.AccountID {
 		}
 		groups = append(groups, g)
 	}
+	return groups
+}
 
-	// 3. Near-duplicate descriptions via MinHash.
+// clusterByDescription groups near-duplicate descriptions via MinHash.
+func (p *Pipeline) clusterByDescription(c *Corpus, ids []socialnet.AccountID) [][]socialnet.AccountID {
+	norms := parallel.Map(len(ids), p.cfg.Workers, func(i int) string {
+		return textutil.NormalizeDescription(c.Users[ids[i]].Description)
+	})
 	var descIDs []socialnet.AccountID
 	var texts []string
-	for _, id := range ids {
-		norm := textutil.NormalizeDescription(c.Users[id].Description)
-		if norm == "" {
+	for i, id := range ids {
+		if norms[i] == "" {
 			continue
 		}
 		descIDs = append(descIDs, id)
-		texts = append(texts, norm)
+		texts = append(texts, norms[i])
 	}
-	for _, g := range clusterTexts(texts, p.cfg.DescSimilarity, p.cfg.Seed) {
+	var groups [][]socialnet.AccountID
+	for _, g := range clusterTexts(texts, p.cfg.DescSimilarity, p.cfg.Seed, p.cfg.Workers) {
 		if len(g) < 2 {
 			continue
 		}
@@ -405,30 +456,37 @@ func (p *Pipeline) clusterUsers(c *Corpus) [][]socialnet.AccountID {
 
 // clusterTweets returns near-duplicate tweet groups within the time window.
 func (p *Pipeline) clusterTweets(c *Corpus) [][]*socialnet.Tweet {
+	norms := parallel.Map(len(c.Tweets), p.cfg.Workers, func(i int) string {
+		return textutil.NormalizeDescription(stripMentions(c.Tweets[i].Text))
+	})
 	var pool []*socialnet.Tweet
 	var texts []string
-	for _, t := range c.Tweets {
-		norm := textutil.NormalizeDescription(stripMentions(t.Text))
-		if len(norm) < p.cfg.MinTweetLen {
+	for i, t := range c.Tweets {
+		if len(norms[i]) < p.cfg.MinTweetLen {
 			continue
 		}
 		pool = append(pool, t)
-		texts = append(texts, norm)
+		texts = append(texts, norms[i])
 	}
 	var groups [][]*socialnet.Tweet
-	for _, g := range clusterTexts(texts, p.cfg.TweetSimilarity, p.cfg.Seed+1) {
+	for _, g := range clusterTexts(texts, p.cfg.TweetSimilarity, p.cfg.Seed+1, p.cfg.Workers) {
 		if len(g) < 2 {
 			continue
 		}
-		// Enforce the 1-day window: split the group into time buckets.
+		// Enforce the 1-day window: split the group into time buckets,
+		// merged in bucket order so the group list is deterministic.
 		byWindow := make(map[int64][]*socialnet.Tweet)
+		var bucketOrder []int64
 		for _, idx := range g {
 			t := pool[idx]
 			bucket := t.CreatedAt.UnixNano() / int64(p.cfg.TweetWindow)
+			if len(byWindow[bucket]) == 0 {
+				bucketOrder = append(bucketOrder, bucket)
+			}
 			byWindow[bucket] = append(byWindow[bucket], t)
 		}
-		for _, tg := range byWindow {
-			if len(tg) >= 2 {
+		for _, bucket := range bucketOrder {
+			if tg := byWindow[bucket]; len(tg) >= 2 {
 				groups = append(groups, tg)
 			}
 		}
@@ -438,7 +496,15 @@ func (p *Pipeline) clusterTweets(c *Corpus) [][]*socialnet.Tweet {
 
 // clusterTexts groups near-duplicate texts via MinHash banding + union-find
 // confirmation, returning groups of indices into texts.
-func clusterTexts(texts []string, simThreshold float64, seed int64) [][]int {
+//
+// The expensive passes — tri-gram shingling + signing, and the pairwise
+// similarity confirmation of banding candidates — fan out over the worker
+// pool. The banding index is built once up front; restricting each text's
+// candidates to lower indices reproduces exactly the pair set (and order)
+// of the former incremental insert-then-query loop, and the union-find
+// merge itself runs sequentially in that order, so the grouping is
+// bit-identical at any worker count.
+func clusterTexts(texts []string, simThreshold float64, seed int64, workers int) [][]int {
 	if len(texts) == 0 {
 		return nil
 	}
@@ -447,7 +513,32 @@ func clusterTexts(texts []string, simThreshold float64, seed int64) [][]int {
 		rows  = 4
 	)
 	scheme := minhash.NewScheme(bands*rows, rand.New(rand.NewSource(seed)))
+	sigs := parallel.Map(len(texts), workers, func(i int) minhash.Signature {
+		return scheme.Sign(textutil.Shingles(texts[i], 3))
+	})
+
 	index := minhash.NewIndex(bands, rows)
+	for _, sig := range sigs {
+		index.Add(sig)
+	}
+
+	// Pairwise confirmation: for each text, the banding candidates below
+	// it that clear the similarity threshold. Candidates returns ids in
+	// ascending insertion order, so the filtered pair lists match the
+	// former incremental scan exactly.
+	matches := parallel.Map(len(texts), workers, func(i int) []int {
+		var ms []int
+		for _, cand := range index.Candidates(sigs[i]) {
+			if cand >= i {
+				continue
+			}
+			if minhash.Similarity(sigs[i], sigs[cand]) >= simThreshold {
+				ms = append(ms, cand)
+			}
+		}
+		return ms
+	})
+
 	parent := make([]int, len(texts))
 	for i := range parent {
 		parent[i] = i
@@ -460,17 +551,12 @@ func clusterTexts(texts []string, simThreshold float64, seed int64) [][]int {
 		return parent[x]
 	}
 	union := func(a, b int) { parent[find(a)] = find(b) }
-
-	sigs := make([]minhash.Signature, len(texts))
-	for i, txt := range texts {
-		sigs[i] = scheme.Sign(textutil.Shingles(txt, 3))
-		for _, cand := range index.Candidates(sigs[i]) {
-			if minhash.Similarity(sigs[i], sigs[cand]) >= simThreshold {
-				union(i, cand)
-			}
+	for i, ms := range matches {
+		for _, cand := range ms {
+			union(i, cand)
 		}
-		index.Add(sigs[i])
 	}
+
 	groupsByRoot := make(map[int][]int)
 	var rootOrder []int
 	for i := range texts {

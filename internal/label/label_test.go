@@ -403,7 +403,7 @@ func TestClusterTextsGroupsNearDuplicates(t *testing.T) {
 		"win free bitcoin today instant payout click here",
 		"completely unrelated gardening thoughts about tulips",
 	}
-	groups := clusterTexts(texts, 0.7, 1)
+	groups := clusterTexts(texts, 0.7, 1, 0)
 	var big []int
 	for _, g := range groups {
 		if len(g) > 1 {

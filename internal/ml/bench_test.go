@@ -1,0 +1,44 @@
+package ml_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/forest"
+)
+
+// BenchmarkCrossValidate times 5-fold evaluation of a random forest at the
+// default worker count and reports the speedup over running the same folds
+// on a single worker as a custom metric.
+func BenchmarkCrossValidate(b *testing.B) {
+	x, y := spamLikeData(1500, 17)
+	d, err := ml.NewDataset(x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory := func() ml.Classifier {
+		return forest.New(forest.Config{Trees: 20, MaxDepth: 12, Seed: 4, Workers: 1})
+	}
+
+	cvOnce := func(workers int) time.Duration {
+		start := time.Now()
+		if _, err := ml.CrossValidateWorkers(d, 5, factory, 3, workers); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	cvOnce(1) // warm caches
+	seq := cvOnce(1)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ml.CrossValidateWorkers(d, 5, factory, 3, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	par := b.Elapsed() / time.Duration(b.N)
+	if par > 0 {
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup-vs-1worker")
+	}
+}

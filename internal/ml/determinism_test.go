@@ -1,0 +1,37 @@
+package ml_test
+
+import (
+	"testing"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/forest"
+)
+
+// TestCrossValidateDeterministicAcrossWorkerCounts verifies the
+// worker-invariance contract for k-fold evaluation: fold shuffling depends
+// only on the seed and each fold writes a disjoint slice of the prediction
+// vector, so metrics are identical whether folds run on 1, 2, or 8 workers.
+func TestCrossValidateDeterministicAcrossWorkerCounts(t *testing.T) {
+	x, y := spamLikeData(600, 17)
+	d, err := ml.NewDataset(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func() ml.Classifier {
+		return forest.New(forest.Config{Trees: 12, MaxDepth: 10, Seed: 4})
+	}
+
+	ref, err := ml.CrossValidate(d, 5, factory, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		m, err := ml.CrossValidateWorkers(d, 5, factory, 3, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if m != ref {
+			t.Fatalf("workers=%d: metrics %+v diverge from sequential %+v", workers, m, ref)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package forest
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkForestFit times ensemble training at the default worker count
+// and reports the speedup over a single-worker fit of the same workload as
+// a custom metric. On a single-core runner the ratio is ~1; on a ≥4-core
+// runner tree-level fan-out should deliver ≥2×.
+func BenchmarkForestFit(b *testing.B) {
+	x, y := noisyData(2000, 11)
+	cfg := Config{Trees: 40, MaxDepth: 14, Seed: 5}
+
+	fitOnce := func(workers int) time.Duration {
+		c := cfg
+		c.Workers = workers
+		f := New(c)
+		start := time.Now()
+		if err := f.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	fitOnce(1) // warm caches
+	seq := fitOnce(1)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cfg
+		f := New(c)
+		if err := f.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+	par := b.Elapsed() / time.Duration(b.N)
+	if par > 0 {
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup-vs-1worker")
+	}
+}

@@ -1,0 +1,54 @@
+package forest
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFitDeterministicAcrossWorkerCounts verifies the worker-invariance
+// contract: the same Seed yields a bit-identical ensemble whether trees
+// train on 1, 2, or 8 workers, because every tree's bootstrap indices and
+// split seed are drawn in a sequential pre-pass.
+func TestFitDeterministicAcrossWorkerCounts(t *testing.T) {
+	x, y := noisyData(400, 11)
+	test := make([][]float64, 0, 100)
+	tx, _ := noisyData(100, 12)
+	test = append(test, tx...)
+
+	var refVerdicts []bool
+	var refProbas []float64
+	for _, workers := range []int{1, 2, 8} {
+		f := New(Config{Trees: 30, MaxDepth: 12, Seed: 5, Workers: workers})
+		if err := f.Fit(x, y); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		verdicts := f.PredictBatch(test)
+		probas := f.PredictProbaBatch(test)
+		if refVerdicts == nil {
+			refVerdicts, refProbas = verdicts, probas
+			continue
+		}
+		if !reflect.DeepEqual(verdicts, refVerdicts) {
+			t.Fatalf("workers=%d: verdicts diverge from workers=1", workers)
+		}
+		if !reflect.DeepEqual(probas, refProbas) {
+			t.Fatalf("workers=%d: probabilities diverge from workers=1", workers)
+		}
+	}
+}
+
+// TestPredictBatchMatchesPredict verifies the chunked batch path returns
+// exactly the per-sample Predict results, index-aligned.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	x, y := noisyData(300, 21)
+	f := New(Config{Trees: 15, MaxDepth: 10, Seed: 3, Workers: 8})
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	batch := f.PredictBatch(x)
+	for i, row := range x {
+		if got := f.Predict(row); got != batch[i] {
+			t.Fatalf("sample %d: PredictBatch=%v Predict=%v", i, batch[i], got)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/tree"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/parallel"
 )
 
 // Config holds random-forest hyperparameters.
@@ -25,6 +26,11 @@ type Config struct {
 	MaxFeatures int
 	// Seed drives bootstrap sampling and feature subsets.
 	Seed int64
+	// Workers bounds the training/prediction pool; 0 resolves the
+	// process default (PH_WORKERS or GOMAXPROCS). The fitted model is
+	// bit-identical at any worker count: each tree derives its own
+	// random stream from Seed and its tree index.
+	Workers int
 }
 
 // PaperConfig returns the configuration the paper deploys: 70 trees with a
@@ -50,7 +56,12 @@ func New(cfg Config) *Forest {
 	return &Forest{cfg: cfg}
 }
 
-// Fit trains the ensemble.
+// Fit trains the ensemble. A cheap sequential pre-pass draws every tree's
+// bootstrap indices and split seed from the single master RNG in tree
+// order — exactly the draws the former sequential loop made — and the
+// expensive tree growth then fans out over the configured worker pool.
+// The fitted model is therefore bit-identical to a sequential fit (and to
+// pre-parallelism models from the same Seed) regardless of worker count.
 func (f *Forest) Fit(x [][]float64, y []bool) error {
 	if len(x) == 0 || len(x) != len(y) {
 		return errors.New("forest: empty or mismatched training data")
@@ -66,24 +77,54 @@ func (f *Forest) Fit(x [][]float64, y []bool) error {
 	f.trees = make([]*tree.Tree, f.cfg.Trees)
 
 	n := len(x)
-	bx := make([][]float64, n)
-	by := make([]bool, n)
+	boots := make([][]int32, f.cfg.Trees)
+	seeds := make([]int64, f.cfg.Trees)
 	for ti := range f.trees {
+		idx := make([]int32, n)
 		for i := 0; i < n; i++ {
-			j := rng.Intn(n)
-			bx[i] = x[j]
-			by[i] = y[j]
+			idx[i] = int32(rng.Intn(n))
 		}
+		boots[ti] = idx
+		seeds[ti] = rng.Int63()
+	}
+
+	workers := parallel.Resolve(f.cfg.Workers, f.cfg.Trees)
+	// Per-worker bootstrap views: a tree's training view is consumed by
+	// tree.Fit before its worker moves on, so the buffers can be reused.
+	type scratch struct {
+		bx [][]float64
+		by []bool
+	}
+	scratches := make([]scratch, workers)
+	errs := make([]error, f.cfg.Trees)
+	parallel.ForEachWorker(f.cfg.Trees, workers, func(w, ti int) {
+		s := &scratches[w]
+		if s.bx == nil {
+			s.bx = make([][]float64, n)
+			s.by = make([]bool, n)
+		}
+		for i, j := range boots[ti] {
+			s.bx[i] = x[j]
+			s.by[i] = y[j]
+		}
+		boots[ti] = nil // release while later trees still train
 		t := tree.New(tree.Config{
 			MaxDepth:    f.cfg.MaxDepth,
 			MinLeaf:     f.cfg.MinLeaf,
 			MaxFeatures: maxFeatures,
-			Seed:        rng.Int63(),
+			Seed:        seeds[ti],
 		})
-		if err := t.Fit(bx, by); err != nil {
-			return err
+		if err := t.Fit(s.bx, s.by); err != nil {
+			errs[ti] = err
+			return
 		}
 		f.trees[ti] = t
+	})
+	for _, err := range errs {
+		if err != nil {
+			f.trees = nil
+			return err
+		}
 	}
 	return nil
 }
@@ -98,6 +139,35 @@ func (f *Forest) Predict(x []float64) bool {
 	}
 	return votes*2 > len(f.trees)
 }
+
+// PredictBatch majority-votes every sample, fanning the batch out over
+// the configured worker pool in contiguous chunks. The result is
+// index-aligned with x and identical to calling Predict per sample.
+func (f *Forest) PredictBatch(x [][]float64) []bool {
+	out := make([]bool, len(x))
+	parallel.ForEachChunk(len(x), f.cfg.Workers, batchMinChunk, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f.Predict(x[i])
+		}
+	})
+	return out
+}
+
+// PredictProbaBatch returns the spam-vote fraction of every sample,
+// computed like PredictBatch.
+func (f *Forest) PredictProbaBatch(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	parallel.ForEachChunk(len(x), f.cfg.Workers, batchMinChunk, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f.PredictProba(x[i])
+		}
+	})
+	return out
+}
+
+// batchMinChunk keeps batch-prediction chunks large enough that pool
+// dispatch overhead stays negligible next to the 70-tree vote per sample.
+const batchMinChunk = 16
 
 // FeatureImportance returns the normalized mean decrease in Gini impurity
 // per feature across the ensemble (values sum to 1 when any splits exist).

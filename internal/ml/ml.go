@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/parallel"
 )
 
 // Classifier is a binary classifier over dense feature vectors. The
@@ -143,27 +145,60 @@ func StratifiedFolds(y []bool, k int, rng *rand.Rand) ([][]int, error) {
 // CrossValidate runs k-fold cross-validation, training a fresh classifier
 // from factory on each fold's complement and pooling the out-of-fold
 // predictions into a single Metrics (micro-averaged, as the paper reports).
+// Folds run concurrently on the process-default worker pool; see
+// CrossValidateWorkers for the determinism contract.
 func CrossValidate(d *Dataset, k int, factory func() Classifier, seed int64) (Metrics, error) {
+	return CrossValidateWorkers(d, k, factory, seed, 0)
+}
+
+// CrossValidateWorkers is CrossValidate with an explicit fold-level worker
+// count (0 resolves the process default). Every fold owns a disjoint
+// train/test index split and a fresh classifier, so the pooled metrics are
+// bit-identical at any worker count. factory must be safe to call
+// concurrently and must return classifiers that do not share mutable
+// state.
+func CrossValidateWorkers(d *Dataset, k int, factory func() Classifier, seed int64, workers int) (Metrics, error) {
 	folds, err := StratifiedFolds(d.Y, k, rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return Metrics{}, err
 	}
-	pred := make([]bool, d.Len())
+	// Precompute every fold's training indices in one pass over the
+	// flattened fold list, instead of re-concatenating the k-1 other
+	// folds inside the per-fold loop: fold fi trains on all[:off[fi]] +
+	// all[off[fi+1]:].
+	total := 0
+	for _, fold := range folds {
+		total += len(fold)
+	}
+	all := make([]int, 0, total)
+	off := make([]int, len(folds)+1)
 	for fi, fold := range folds {
-		var trainIdx []int
-		for fj, other := range folds {
-			if fj != fi {
-				trainIdx = append(trainIdx, other...)
-			}
-		}
-		train := d.Subset(trainIdx)
+		all = append(all, fold...)
+		off[fi+1] = off[fi] + len(fold)
+	}
+	trainSets := make([][]int, len(folds))
+	for fi := range folds {
+		trainIdx := make([]int, 0, total-(off[fi+1]-off[fi]))
+		trainIdx = append(trainIdx, all[:off[fi]]...)
+		trainIdx = append(trainIdx, all[off[fi+1]:]...)
+		trainSets[fi] = trainIdx
+	}
+
+	pred := make([]bool, d.Len())
+	err = parallel.ForEachErr(len(folds), workers, func(fi int) error {
+		train := d.Subset(trainSets[fi])
 		clf := factory()
 		if err := clf.Fit(train.X, train.Y); err != nil {
-			return Metrics{}, fmt.Errorf("fold %d: %w", fi, err)
+			return fmt.Errorf("fold %d: %w", fi, err)
 		}
-		for _, idx := range fold {
+		// Folds hold disjoint index sets, so these writes never overlap.
+		for _, idx := range folds[fi] {
 			pred[idx] = clf.Predict(d.X[idx])
 		}
+		return nil
+	})
+	if err != nil {
+		return Metrics{}, err
 	}
 	return Evaluate(pred, d.Y), nil
 }

@@ -1,0 +1,162 @@
+// Package parallel provides the shared bounded worker-pool primitives the
+// detector's hot paths fan out over: forest training, cross-validation
+// folds, batch classification, and the labeling pipeline's clustering
+// passes. Every primitive takes an explicit worker count (0 resolves the
+// process default, overridable through the PH_WORKERS environment
+// variable) so callers stay deterministic and tests can pin the pool size.
+//
+// Determinism contract: the primitives schedule work in an unspecified
+// order, so callers must make each unit of work independent — own its
+// output slot, derive its randomness from its index, and never read
+// another unit's results. Under that contract the outcome is bit-identical
+// at any worker count, which the repo's worker-invariance tests enforce.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment variable overriding the default worker
+// count (a positive integer; anything else is ignored).
+const EnvWorkers = "PH_WORKERS"
+
+// Workers resolves the process-default worker count: PH_WORKERS when set
+// to a positive integer, otherwise GOMAXPROCS.
+func Workers() int {
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Resolve clamps a requested worker count to the n units of work
+// available, resolving the default for workers <= 0. The result is always
+// at least 1.
+func Resolve(workers, n int) int {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForEach invokes fn(i) for every i in [0, n) using at most workers
+// concurrent goroutines; workers <= 0 resolves the default via Workers().
+// Indices are handed out dynamically (an atomic counter), so the
+// invocation order is unspecified. A panic in fn is re-raised on the
+// calling goroutine after all workers drain.
+func ForEach(n, workers int, fn func(i int)) {
+	ForEachWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with the worker's pool slot exposed: fn(w, i)
+// runs unit i on worker w, where 0 <= w < Resolve(workers, n). The slot
+// index lets callers keep per-worker scratch buffers without locking.
+// A single unit is only ever processed once, but which slot processes it
+// is unspecified, so scratch state must not leak into results.
+func ForEachWorker(n, workers int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Resolve(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// ForEachChunk splits [0, n) into contiguous chunks of at least minChunk
+// indices and invokes fn(lo, hi) for each chunk concurrently. It
+// oversubscribes the pool (several chunks per worker) so uneven chunk
+// costs still balance. Use it when per-index dispatch overhead would
+// dominate, e.g. batch classification of many small vectors.
+func ForEachChunk(n, workers, minChunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	w := Resolve(workers, (n+minChunk-1)/minChunk)
+	chunks := w * 4
+	if max := (n + minChunk - 1) / minChunk; chunks > max {
+		chunks = max
+	}
+	size := (n + chunks - 1) / chunks
+	chunks = (n + size - 1) / size
+	ForEach(chunks, w, func(ci int) {
+		lo := ci * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
+// Map applies fn to every index in [0, n) and returns the results in
+// index order, computed with at most workers goroutines (0 ⇒ default).
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// ForEachErr runs fn over every index and returns the lowest-index error,
+// so the reported failure is independent of scheduling. All units run even
+// after a failure; fn implementations should be cheap to no-op if they
+// need early exit.
+func ForEachErr(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	ForEach(n, workers, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

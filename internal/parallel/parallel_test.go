@@ -1,0 +1,172 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersEnvOverride(t *testing.T) {
+	t.Setenv(EnvWorkers, "3")
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d with PH_WORKERS=3", got)
+	}
+	t.Setenv(EnvWorkers, "not-a-number")
+	if got := Workers(); got < 1 {
+		t.Fatalf("Workers() = %d with garbage PH_WORKERS", got)
+	}
+	t.Setenv(EnvWorkers, "-2")
+	if got := Workers(); got < 1 {
+		t.Fatalf("Workers() = %d with negative PH_WORKERS", got)
+	}
+}
+
+func TestResolveClamps(t *testing.T) {
+	if got := Resolve(8, 3); got != 3 {
+		t.Fatalf("Resolve(8, 3) = %d", got)
+	}
+	if got := Resolve(2, 100); got != 2 {
+		t.Fatalf("Resolve(2, 100) = %d", got)
+	}
+	if got := Resolve(0, 100); got < 1 {
+		t.Fatalf("Resolve(0, 100) = %d", got)
+	}
+	if got := Resolve(5, 0); got != 1 {
+		t.Fatalf("Resolve(5, 0) = %d", got)
+	}
+}
+
+// Every index must be visited exactly once at any worker count; the
+// -race run additionally checks the pool itself for data races on the
+// shared accumulators.
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 33} {
+		const n = 1000
+		var visits [n]atomic.Int32
+		var sum atomic.Int64
+		ForEach(n, workers, func(i int) {
+			visits[i].Add(1)
+			sum.Add(int64(i))
+		})
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+		if want := int64(n * (n - 1) / 2); sum.Load() != want {
+			t.Fatalf("workers=%d: sum = %d, want %d", workers, sum.Load(), want)
+		}
+	}
+}
+
+// Shared-accumulator stress: many goroutines appending into per-worker
+// buckets plus a mutex-guarded slice. Exercised by `go test -race`.
+func TestForEachWorkerSharedAccumulators(t *testing.T) {
+	const n = 500
+	workers := 8
+	perWorker := make([][]int, Resolve(workers, n))
+	var mu sync.Mutex
+	var all []int
+	ForEachWorker(n, workers, func(w, i int) {
+		perWorker[w] = append(perWorker[w], i)
+		mu.Lock()
+		all = append(all, i)
+		mu.Unlock()
+	})
+	total := 0
+	for _, bucket := range perWorker {
+		total += len(bucket)
+	}
+	if total != n || len(all) != n {
+		t.Fatalf("per-worker total %d, shared total %d, want %d", total, len(all), n)
+	}
+}
+
+func TestForEachChunkCoversAllIndices(t *testing.T) {
+	for _, tc := range []struct{ n, workers, minChunk int }{
+		{1, 1, 1}, {7, 2, 4}, {100, 8, 1}, {1000, 3, 64}, {65, 4, 64},
+	} {
+		var visits = make([]atomic.Int32, tc.n)
+		ForEachChunk(tc.n, tc.workers, tc.minChunk, func(lo, hi int) {
+			if lo >= hi || lo < 0 || hi > tc.n {
+				t.Fatalf("bad chunk [%d, %d) for n=%d", lo, hi, tc.n)
+			}
+			if hi-lo < tc.minChunk && lo != 0 && hi != tc.n {
+				t.Fatalf("interior chunk [%d, %d) smaller than minChunk %d", lo, hi, tc.minChunk)
+			}
+			for i := lo; i < hi; i++ {
+				visits[i].Add(1)
+			}
+		})
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Fatalf("n=%d workers=%d minChunk=%d: index %d visited %d times",
+					tc.n, tc.workers, tc.minChunk, i, got)
+			}
+		}
+	}
+}
+
+// Map results must land in index order regardless of worker count.
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		out := Map(100, workers, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+// ForEachErr must report the lowest-index error, independent of
+// scheduling.
+func TestForEachErrDeterministicError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEachErr(100, workers, func(i int) error {
+			switch i {
+			case 90:
+				return errB
+			case 13:
+				return errA
+			}
+			return nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: err = %v, want lowest-index error %v", workers, err, errA)
+		}
+	}
+	if err := ForEachErr(50, 4, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want boom", workers, r)
+				}
+			}()
+			ForEach(100, workers, func(i int) {
+				if i == 42 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-5, 4, func(int) { called = true })
+	ForEachChunk(0, 4, 8, func(int, int) { called = true })
+	if called {
+		t.Fatal("fn invoked for empty range")
+	}
+}
