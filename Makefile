@@ -1,6 +1,7 @@
 # Developer entry points. `make check` is the gate CI runs: vet, build,
-# the full test suite, and a race-detector pass over every package the
-# parallel execution layer touches.
+# the full test suite, a race-detector pass over every package the
+# parallel execution layer or the metrics hot paths touch, and a coverage
+# gate on the metrics registry.
 
 GO ?= go
 
@@ -8,11 +9,15 @@ RACE_PKGS := ./internal/parallel/ \
 	./internal/ml/... \
 	./internal/label/ \
 	./internal/core/ \
-	./internal/imagehash/
+	./internal/imagehash/ \
+	./internal/metrics/ \
+	./internal/twitterapi/
 
-.PHONY: check vet build test race bench
+METRICS_COVER_MIN := 90
 
-check: vet build test race
+.PHONY: check vet build test race bench cover-metrics
+
+check: vet build test race cover-metrics
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +30,17 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# cover-metrics gates internal/metrics at >= $(METRICS_COVER_MIN)%
+# statement coverage: the registry sits on every hot path, so untested
+# branches there are untested everywhere.
+cover-metrics:
+	@$(GO) test -coverprofile=.metrics.cover ./internal/metrics/ > /dev/null
+	@$(GO) tool cover -func=.metrics.cover | awk -v min=$(METRICS_COVER_MIN) \
+		'/^total:/ { gsub(/%/, "", $$3); \
+		if ($$3 + 0 < min) { printf "FAIL: internal/metrics coverage %s%% < %d%% gate\n", $$3, min; exit 1 } \
+		else printf "internal/metrics coverage %s%% (gate %d%%)\n", $$3, min }'
+	@rm -f .metrics.cover
 
 # bench runs the parallel-layer speedup benchmarks; the
 # speedup-vs-1worker metric compares the default worker count against a

@@ -8,6 +8,12 @@
 //
 //	phsniffer [-hours 24] [-nodes-per-value 2] [-accounts 6000]
 //	          [-classifier RF] [-seed 1] [-top 10]
+//	          [-metrics-addr :9331] [-export run.json]
+//
+// With -metrics-addr, the process serves its live metrics registry at
+// GET /metrics (Prometheus text) and GET /healthz while the run executes.
+// With -export, the result tables plus a final metrics snapshot are
+// written as JSON.
 //
 // With -server, phsniffer instead attaches to a running twitterd over HTTP:
 // nodes are screened through the REST search endpoint and monitored through
@@ -21,9 +27,12 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"time"
 
 	pseudohoneypot "github.com/pseudo-honeypot/pseudohoneypot"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/core"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/remote"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/report"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/twitterapi"
@@ -45,11 +54,17 @@ func run() error {
 		seed       = flag.Int64("seed", 1, "world and selection seed")
 		top        = flag.Int("top", 10, "PGE rows to print")
 		server     = flag.String("server", "", "twitterd base URL for remote monitoring (e.g. http://127.0.0.1:8331)")
+		metricsOn  = flag.String("metrics-addr", "", "serve GET /metrics and /healthz on this address during the run")
+		export     = flag.String("export", "", "write result tables plus a final metrics snapshot as JSON to this file")
 	)
 	flag.Parse()
 
+	if *metricsOn != "" {
+		go serveMetrics(*metricsOn)
+	}
+
 	if *server != "" {
-		return runRemote(*server, *hours, *perValue, *seed)
+		return runRemote(*server, *hours, *perValue, *seed, *export)
 	}
 
 	cfg := pseudohoneypot.DefaultConfig()
@@ -100,12 +115,41 @@ func run() error {
 		tbl.AddRow(i+1, row.Selector.String(), row.Spammers, row.NodeHours, row.PGE)
 	}
 	fmt.Print(tbl.Render())
-	return nil
+	return writeExport(*export, []*report.Table{tbl})
+}
+
+// serveMetrics exposes the process-default registry — which every pipeline
+// component reports into — over HTTP for the duration of the run.
+func serveMetrics(addr string) {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", metrics.Default().Handler())
+	mux.Handle("GET /healthz", metrics.HealthHandler())
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	if err := srv.ListenAndServe(); err != nil {
+		log.Printf("phsniffer: metrics server: %v", err)
+	}
+}
+
+// writeExport archives the result tables with a final snapshot of the
+// process-default registry. An empty path is a no-op.
+func writeExport(path string, tables []*report.Table) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.NewExport(tables, metrics.Default()).WriteJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runRemote monitors a live twitterd over HTTP and reports collection
 // statistics per selector group.
-func runRemote(server string, hours, perValue int, seed int64) error {
+func runRemote(server string, hours, perValue int, seed int64, export string) error {
 	client := twitterapi.NewClient(server, http.DefaultClient)
 	sniffer, err := remote.NewSniffer(client, core.MonitorConfig{
 		Specs:      core.StandardSpecs(perValue),
@@ -138,5 +182,5 @@ func runRemote(server string, hours, perValue int, seed int64) error {
 		}
 	}
 	fmt.Print(tbl.Render())
-	return nil
+	return writeExport(export, []*report.Table{tbl})
 }

@@ -92,6 +92,7 @@ func run() error {
 
 	fmt.Printf("twitterd: %d accounts, %d organic tweets/h, listening on %s\n",
 		world.NumAccounts(), *organic, *addr)
+	fmt.Println("twitterd: observability at GET /metrics (Prometheus text) and GET /healthz")
 	if *tick > 0 {
 		fmt.Printf("twitterd: 1 simulated hour per %v\n", *tick)
 	} else {

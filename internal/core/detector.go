@@ -12,6 +12,7 @@ import (
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/forest"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/knn"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/svm"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/tree"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/parallel"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
@@ -63,11 +64,18 @@ func NewClassifier(name ClassifierName, seed int64) (ml.Classifier, error) {
 // the 58-feature space.
 type Detector struct {
 	clf ml.Classifier
+	ins *detectorInstruments
 }
 
-// NewDetector wraps a classifier.
+// NewDetector wraps a classifier, reporting through metrics.Default().
 func NewDetector(clf ml.Classifier) *Detector {
-	return &Detector{clf: clf}
+	return &Detector{clf: clf, ins: newDetectorInstruments(metrics.Default())}
+}
+
+// SetMetrics rebinds the detector's instrumentation to r (call before
+// Train/Classify; tests use it to reconcile against a private registry).
+func (d *Detector) SetMetrics(r *metrics.Registry) {
+	d.ins = newDetectorInstruments(r)
 }
 
 // BuildDataset joins captured feature vectors with pipeline labels into a
@@ -96,7 +104,12 @@ func (d *Detector) Train(captures []*Capture, labels *label.Result) error {
 	if ds.Len() == 0 {
 		return errors.New("core: empty training set")
 	}
-	return d.clf.Fit(ds.X, ds.Y)
+	start := time.Now()
+	if err := d.clf.Fit(ds.X, ds.Y); err != nil {
+		return err
+	}
+	d.ins.trainSecs.ObserveDuration(start)
+	return nil
 }
 
 // FeatureImportance reports the trained detector's normalized per-feature
@@ -116,12 +129,25 @@ func (d *Detector) FeatureImportance() []float64 {
 // classifier family's Predict is read-only after Fit, so verdicts are
 // identical to a sequential pass at any worker count.
 func (d *Detector) Classify(captures []*Capture) []bool {
+	start := time.Now()
 	verdicts := make([]bool, len(captures))
 	parallel.ForEachChunk(len(captures), 0, classifyMinChunk, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			verdicts[i] = d.clf.Predict(captures[i].Vector[:])
 		}
 	})
+	spams := 0
+	for _, v := range verdicts {
+		if v {
+			spams++
+		}
+	}
+	d.ins.classifySecs.ObserveDuration(start)
+	d.ins.classifications.Add(float64(len(verdicts)))
+	d.ins.spams.Add(float64(spams))
+	if len(verdicts) > 0 {
+		d.ins.spamRatio.Set(float64(spams) / float64(len(verdicts)))
+	}
 	return verdicts
 }
 

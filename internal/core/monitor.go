@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/features"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
 )
 
@@ -57,6 +58,10 @@ type MonitorConfig struct {
 
 	// Seed drives selection sampling.
 	Seed int64
+
+	// Metrics receives the monitor's instrumentation (DESIGN.md §9).
+	// Nil binds to the process-wide metrics.Default() registry.
+	Metrics *metrics.Registry
 }
 
 // GroupStats aggregates what one selector's node group captured.
@@ -122,6 +127,7 @@ type Monitor struct {
 	scratchAttrs  []string
 
 	rotations int
+	ins       *monitorInstruments
 }
 
 // NewMonitor creates a monitor over the screener.
@@ -141,6 +147,11 @@ func NewMonitor(cfg MonitorConfig, screener Screener) *Monitor {
 			Spammers: make(map[socialnet.AccountID]struct{}),
 		})
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	m.ins = newMonitorInstruments(reg, m.groups)
 	return m
 }
 
@@ -174,6 +185,7 @@ func (m *Monitor) CurrentNodes() map[socialnet.AccountID][]int {
 // rotates hourly). period is the time the new set will be monitored; it
 // feeds the node-hours PGE denominator.
 func (m *Monitor) Rotate(now time.Time, period time.Duration) {
+	start := time.Now()
 	m.nodes = make(map[socialnet.AccountID][]int)
 	maxRatio := m.cfg.MaxRatio
 	if maxRatio == 0 {
@@ -209,8 +221,13 @@ func (m *Monitor) Rotate(now time.Time, period time.Duration) {
 			m.used[a.ID] = struct{}{}
 		}
 		g.NodeHours += float64(len(accounts)) * period.Hours()
+		m.ins.groupNodeHours[gi].Add(float64(len(accounts)) * period.Hours())
+		m.ins.updateGroup(gi, g)
 	}
 	m.rotations++
+	m.ins.rotations.Inc()
+	m.ins.nodes.Set(float64(len(m.nodes)))
+	m.ins.rotationSecs.ObserveDuration(start)
 }
 
 // AccrueHours extends the current node set's monitored time without
@@ -225,6 +242,8 @@ func (m *Monitor) AccrueHours(period time.Duration) {
 	}
 	for gi, n := range counts {
 		m.groups[gi].NodeHours += float64(n) * period.Hours()
+		m.ins.groupNodeHours[gi].Add(float64(n) * period.Hours())
+		m.ins.updateGroup(gi, m.groups[gi])
 	}
 }
 
@@ -264,8 +283,10 @@ func (m *Monitor) OnTweet(t *socialnet.Tweet, lookup func(socialnet.AccountID) *
 		g := m.groups[gi]
 		g.Tweets++
 		g.Senders[t.AuthorID] = struct{}{}
+		m.ins.groupTweets[gi].Inc()
 		attrKeys = append(attrKeys, g.Spec.Selector.Attr.Key())
 	}
+	m.ins.tweetsCaptured.Inc()
 
 	vec := m.extractor.Extract(features.Observation{
 		Tweet:    t,
@@ -326,7 +347,8 @@ func (m *Monitor) AttributeSpam(verdicts []bool) {
 			g.Spammers[c.Tweet.AuthorID] = struct{}{}
 		}
 	}
-	for _, g := range m.groups {
+	for gi, g := range m.groups {
+		m.ins.updateGroup(gi, g)
 		if g.Tweets == 0 {
 			continue
 		}

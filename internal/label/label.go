@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/imagehash"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/minhash"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/parallel"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
@@ -176,6 +177,10 @@ type Config struct {
 	// process default (PH_WORKERS or GOMAXPROCS). Labels are
 	// bit-identical at any worker count.
 	Workers int
+
+	// Metrics receives the pipeline's pass timings; nil means
+	// metrics.Default().
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the paper's thresholds.
@@ -196,6 +201,7 @@ func DefaultConfig() Config {
 type Pipeline struct {
 	cfg Config
 	rng *rand.Rand
+	ins *pipelineInstruments
 }
 
 // NewPipeline creates a pipeline with cfg (zero-value fields fall back to
@@ -223,7 +229,11 @@ func NewPipeline(cfg Config) *Pipeline {
 	if cfg.RepeatThreshold <= 0 {
 		cfg.RepeatThreshold = def.RepeatThreshold
 	}
-	return &Pipeline{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &Pipeline{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		ins: newPipelineInstruments(cfg.Metrics),
+	}
 }
 
 // Run labels the corpus: suspended accounts, clustering, rules, then
@@ -366,6 +376,7 @@ func (p *Pipeline) clusterUsers(c *Corpus) [][]socialnet.AccountID {
 
 // clusterByImage groups profile images via dHash + Hamming threshold.
 func (p *Pipeline) clusterByImage(c *Corpus, ids []socialnet.AccountID) [][]socialnet.AccountID {
+	defer p.ins.clusterSecs.With("image").ObserveDuration(time.Now())
 	imgGrouper := imagehash.NewGrouper(p.cfg.ImageHammingThreshold)
 	imgGrouper.SetWorkers(p.cfg.Workers)
 	imgGroups := make(map[int][]socialnet.AccountID)
@@ -396,6 +407,7 @@ func (p *Pipeline) clusterByImage(c *Corpus, ids []socialnet.AccountID) [][]soci
 // at least two character classes, and a shape shared by a large fraction
 // of the corpus carries no campaign signal.
 func (p *Pipeline) clusterByName(c *Corpus, ids []socialnet.AccountID) [][]socialnet.AccountID {
+	defer p.ins.clusterSecs.With("name").ObserveDuration(time.Now())
 	seqs := parallel.Map(len(ids), p.cfg.Workers, func(i int) string {
 		return textutil.ClassSeqWithRunLengths(c.Users[ids[i]].ScreenName)
 	})
@@ -428,6 +440,7 @@ func (p *Pipeline) clusterByName(c *Corpus, ids []socialnet.AccountID) [][]socia
 
 // clusterByDescription groups near-duplicate descriptions via MinHash.
 func (p *Pipeline) clusterByDescription(c *Corpus, ids []socialnet.AccountID) [][]socialnet.AccountID {
+	defer p.ins.clusterSecs.With("description").ObserveDuration(time.Now())
 	norms := parallel.Map(len(ids), p.cfg.Workers, func(i int) string {
 		return textutil.NormalizeDescription(c.Users[ids[i]].Description)
 	})
@@ -456,6 +469,7 @@ func (p *Pipeline) clusterByDescription(c *Corpus, ids []socialnet.AccountID) []
 
 // clusterTweets returns near-duplicate tweet groups within the time window.
 func (p *Pipeline) clusterTweets(c *Corpus) [][]*socialnet.Tweet {
+	defer p.ins.clusterSecs.With("tweets").ObserveDuration(time.Now())
 	norms := parallel.Map(len(c.Tweets), p.cfg.Workers, func(i int) string {
 		return textutil.NormalizeDescription(stripMentions(c.Tweets[i].Text))
 	})

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/simclock"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
 )
@@ -446,5 +447,20 @@ func TestResultIsSpam(t *testing.T) {
 	r := &Result{SpamTweets: map[socialnet.TweetID]Method{5: MethodRule}}
 	if !r.IsSpam(5) || r.IsSpam(6) {
 		t.Fatal("IsSpam wrong")
+	}
+}
+
+func TestClusterPassTimings(t *testing.T) {
+	corpus, w := collectCorpus(t, 3)
+	reg := metrics.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.Metrics = reg
+	NewPipeline(cfg).Run(corpus, NewNoisyOracle(w, 0.02, 7))
+
+	passes := reg.HistogramVec("ph_label_cluster_seconds", "", nil, "pass")
+	for _, pass := range []string{"image", "name", "description", "tweets"} {
+		if got := passes.With(pass).Count(); got != 1 {
+			t.Fatalf("cluster pass %q observed %d times, want 1", pass, got)
+		}
 	}
 }

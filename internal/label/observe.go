@@ -1,0 +1,20 @@
+package label
+
+import "github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
+
+// pipelineInstruments times the labeling pipeline's clustering passes
+// (DESIGN.md §9) — the dominant cost of the ground-truth stage.
+type pipelineInstruments struct {
+	clusterSecs *metrics.HistogramVec
+}
+
+func newPipelineInstruments(r *metrics.Registry) *pipelineInstruments {
+	if r == nil {
+		r = metrics.Default()
+	}
+	return &pipelineInstruments{
+		clusterSecs: r.HistogramVec("ph_label_cluster_seconds",
+			"Clustering pass wall time, by pass (image, name, description, tweets).",
+			nil, "pass"),
+	}
+}

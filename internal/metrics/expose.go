@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format served by Handler.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every family in the Prometheus text exposition format:
+// a # HELP and # TYPE header per family, then one line per sample, with
+// histograms expanded into cumulative _bucket/_sum/_count series.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.Snapshot() {
+		if fam.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(fam.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(fam.Help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(fam.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(fam.Type.String())
+		bw.WriteByte('\n')
+		for _, s := range fam.Samples {
+			if fam.Type == TypeHistogram {
+				writeHistogramSample(bw, fam.Name, s)
+				continue
+			}
+			writeSample(bw, fam.Name, s.Labels, "", "", formatValue(s.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogramSample(bw *bufio.Writer, name string, s Sample) {
+	for _, b := range s.Buckets {
+		writeSample(bw, name+"_bucket", s.Labels, "le", formatValue(b.UpperBound),
+			strconv.FormatUint(b.Count, 10))
+	}
+	writeSample(bw, name+"_sum", s.Labels, "", "", formatValue(s.Sum))
+	writeSample(bw, name+"_count", s.Labels, "", "", strconv.FormatUint(s.Count, 10))
+}
+
+// writeSample emits one exposition line; extraName/extraValue append a
+// synthetic label (the histogram "le") after the sample's own labels.
+func writeSample(bw *bufio.Writer, name string, labels []Label, extraName, extraValue, value string) {
+	bw.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l.Name)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(l.Value))
+			bw.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraName)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(extraValue))
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip form, with infinities spelled +Inf/-Inf.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// Handler serves the registry in the text exposition format — mount it at
+// /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		_ = r.WriteText(w)
+	})
+}
+
+var processStart = time.Now()
+
+// Health is the /healthz response body.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// HealthHandler serves a liveness probe: {"status":"ok","uptime_seconds":N}.
+func HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(Health{
+			Status:        "ok",
+			UptimeSeconds: time.Since(processStart).Seconds(),
+		})
+	})
+}

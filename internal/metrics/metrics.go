@@ -1,0 +1,459 @@
+// Package metrics is the dependency-free observability registry every
+// pipeline stage reports through: counters, gauges, and histograms with
+// atomic hot paths, optional labels, consistent snapshots, and
+// Prometheus-style text exposition (expose.go). The deployed paper system
+// judged selector groups by live capture efficiency; this package is what
+// surfaces those numbers at runtime instead of in a post-hoc report.
+//
+// Concurrency: metric updates are lock-free atomics; child lookup on a
+// labeled family takes a read lock only. Registration is get-or-create and
+// idempotent, so independent components may bind the same metric name.
+// Registering a name with a conflicting type or label set panics — that is
+// a programming error, not an operational condition.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Type classifies a metric family.
+type Type int
+
+// Metric family types.
+const (
+	TypeCounter Type = iota + 1
+	TypeGauge
+	TypeHistogram
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// MarshalJSON renders the type as its exposition keyword.
+func (t Type) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + t.String() + `"`), nil
+}
+
+// DefaultMaxCardinality bounds the distinct label sets one family tracks.
+// Beyond it, new label sets collapse into a single overflow child (label
+// values replaced by OverflowLabel) so an unbounded label — say, one value
+// per account id — cannot exhaust memory.
+const DefaultMaxCardinality = 1024
+
+// OverflowLabel is the label value of the overflow child.
+const OverflowLabel = "_overflow"
+
+// DefBuckets are the default histogram bounds, in seconds, spanning the
+// sub-millisecond rotations of small worlds up to multi-second API calls.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// atomicFloat is a float64 updated through CAS on its bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomicFloat }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Add increases the counter by v; negative v panics.
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic("metrics: counter cannot decrease")
+	}
+	c.v.add(v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v.store(v) }
+
+// Add shifts the gauge by v (negative allowed).
+func (g *Gauge) Add(v float64) { g.v.add(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.load() }
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, +Inf implicit last
+	counts []atomic.Uint64
+	sum    atomicFloat
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound is >= v; misses land in +Inf.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+}
+
+// ObserveDuration records the seconds elapsed since start.
+func (h *Histogram) ObserveDuration(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// keySep joins label values into child keys; it cannot appear in UTF-8
+// label values as a standalone byte sequence used here.
+const keySep = "\xff"
+
+// family is one named metric with all its labeled children.
+type family struct {
+	name    string
+	help    string
+	typ     Type
+	labels  []string
+	buckets []float64
+	maxCard int
+
+	mu       sync.RWMutex
+	children map[string]any // *Counter | *Gauge | *Histogram
+	labelSet map[string][]string
+}
+
+func (f *family) newChild() any {
+	switch f.typ {
+	case TypeCounter:
+		return &Counter{}
+	case TypeGauge:
+		return &Gauge{}
+	default:
+		return &Histogram{
+			bounds: f.buckets,
+			counts: make([]atomic.Uint64, len(f.buckets)+1),
+		}
+	}
+}
+
+// child returns the metric for the label values, creating it on first use.
+func (f *family) child(lvs []string) any {
+	if len(lvs) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d",
+			f.name, len(f.labels), len(lvs)))
+	}
+	key := strings.Join(lvs, keySep)
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	if len(f.children) >= f.maxCard {
+		overflow := make([]string, len(f.labels))
+		for i := range overflow {
+			overflow[i] = OverflowLabel
+		}
+		lvs = overflow
+		key = strings.Join(lvs, keySep)
+		if c, ok := f.children[key]; ok {
+			return c
+		}
+	}
+	c = f.newChild()
+	f.children[key] = c
+	f.labelSet[key] = append([]string(nil), lvs...)
+	return c
+}
+
+// CounterVec is a counter family partitioned by labels.
+type CounterVec struct{ fam *family }
+
+// With returns the counter for the label values, in declaration order.
+func (v *CounterVec) With(lvs ...string) *Counter { return v.fam.child(lvs).(*Counter) }
+
+// GaugeVec is a gauge family partitioned by labels.
+type GaugeVec struct{ fam *family }
+
+// With returns the gauge for the label values, in declaration order.
+func (v *GaugeVec) With(lvs ...string) *Gauge { return v.fam.child(lvs).(*Gauge) }
+
+// HistogramVec is a histogram family partitioned by labels.
+type HistogramVec struct{ fam *family }
+
+// With returns the histogram for the label values, in declaration order.
+func (v *HistogramVec) With(lvs ...string) *Histogram { return v.fam.child(lvs).(*Histogram) }
+
+// Registry holds metric families. The zero value is not usable; call
+// NewRegistry, or use the process-wide Default registry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that instrumented components
+// bind to unless given an explicit one.
+func Default() *Registry { return defaultRegistry }
+
+// family registers (or fetches) a metric family. Conflicting re-registration
+// panics; a differing help string keeps the first registration's text.
+func (r *Registry) family(name, help string, typ Type, labels []string, buckets []float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %s", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("metrics: %s re-registered as %s%v, was %s%v",
+				name, typ, labels, f.typ, f.labels))
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		typ:      typ,
+		labels:   append([]string(nil), labels...),
+		buckets:  buckets,
+		maxCard:  DefaultMaxCardinality,
+		children: make(map[string]any),
+		labelSet: make(map[string][]string),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, TypeCounter, nil, nil).child(nil).(*Counter)
+}
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{fam: r.family(name, help, TypeCounter, labels, nil)}
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, TypeGauge, nil, nil).child(nil).(*Gauge)
+}
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{fam: r.family(name, help, TypeGauge, labels, nil)}
+}
+
+// Histogram registers (or fetches) an unlabeled histogram. buckets are
+// upper bounds (the +Inf bucket is implicit); nil uses DefBuckets. Bounds
+// are sorted and deduplicated, and non-finite bounds are dropped.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.family(name, help, TypeHistogram, nil, cleanBuckets(buckets)).
+		child(nil).(*Histogram)
+}
+
+// HistogramVec registers (or fetches) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{fam: r.family(name, help, TypeHistogram, labels, cleanBuckets(buckets))}
+}
+
+func cleanBuckets(buckets []float64) []float64 {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	out := make([]float64, 0, len(buckets))
+	for _, b := range buckets {
+		if !math.IsInf(b, 0) && !math.IsNaN(b) {
+			out = append(out, b)
+		}
+	}
+	sort.Float64s(out)
+	dedup := out[:0]
+	for i, b := range out {
+		if i == 0 || b != out[i-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return dedup
+}
+
+// Label is one name/value pair of a sample.
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Bucket is one cumulative histogram bucket of a snapshot.
+type Bucket struct {
+	UpperBound float64
+	Count      uint64
+}
+
+// MarshalJSON renders the upper bound in exposition form ("+Inf" for the
+// last bucket), since JSON numbers cannot express infinity.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		UpperBound string `json:"le"`
+		Count      uint64 `json:"count"`
+	}{formatValue(b.UpperBound), b.Count})
+}
+
+// Sample is one labeled series of a family snapshot. Counters and gauges
+// fill Value; histograms fill Buckets (cumulative, ending at +Inf), Count,
+// and Sum.
+type Sample struct {
+	Labels  []Label  `json:"labels,omitempty"`
+	Value   float64  `json:"value"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+	Count   uint64   `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+}
+
+// FamilySnapshot is the point-in-time state of one metric family.
+type FamilySnapshot struct {
+	Name    string   `json:"name"`
+	Help    string   `json:"help,omitempty"`
+	Type    Type     `json:"type"`
+	Samples []Sample `json:"samples"`
+}
+
+// Snapshot captures every family, sorted by name with samples sorted by
+// label values, so repeated snapshots of unchanged state are identical.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		snap := FamilySnapshot{Name: f.name, Help: f.help, Type: f.typ}
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := Sample{}
+			for i, lv := range f.labelSet[k] {
+				s.Labels = append(s.Labels, Label{Name: f.labels[i], Value: lv})
+			}
+			switch m := f.children[k].(type) {
+			case *Counter:
+				s.Value = m.Value()
+			case *Gauge:
+				s.Value = m.Value()
+			case *Histogram:
+				var cum uint64
+				for i := range m.counts {
+					cum += m.counts[i].Load()
+					bound := math.Inf(1)
+					if i < len(m.bounds) {
+						bound = m.bounds[i]
+					}
+					s.Buckets = append(s.Buckets, Bucket{UpperBound: bound, Count: cum})
+				}
+				s.Count = cum
+				s.Sum = m.Sum()
+			}
+			snap.Samples = append(snap.Samples, s)
+		}
+		f.mu.RUnlock()
+		out = append(out, snap)
+	}
+	return out
+}
+
+// validName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]* (the
+// Prometheus metric-name grammar; label names additionally never use ':',
+// which we simply don't emit).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,316 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	tests := []struct {
+		name string
+		op   func()
+		want float64
+	}{
+		{"starts at zero", func() {}, 0},
+		{"inc", c.Inc, 1},
+		{"add", func() { c.Add(2.5) }, 3.5},
+		{"add zero", func() { c.Add(0) }, 3.5},
+	}
+	for _, tt := range tests {
+		tt.op()
+		if got := c.Value(); got != tt.want {
+			t.Fatalf("%s: value = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+	// Re-registration returns the same counter.
+	if r.Counter("test_total", "ignored help") != c {
+		t.Fatal("re-registration created a new counter")
+	}
+}
+
+func TestCounterRejectsDecrease(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	NewRegistry().Counter("c_total", "").Add(-1)
+}
+
+func TestGaugeBasics(t *testing.T) {
+	g := NewRegistry().Gauge("g", "a gauge")
+	tests := []struct {
+		name string
+		op   func()
+		want float64
+	}{
+		{"set", func() { g.Set(10) }, 10},
+		{"add", func() { g.Add(5) }, 15},
+		{"subtract", func() { g.Add(-20) }, -5},
+		{"set again", func() { g.Set(0.25) }, 0.25},
+	}
+	for _, tt := range tests {
+		tt.op()
+		if got := g.Value(); got != tt.want {
+			t.Fatalf("%s: value = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Fatalf("sum = %v, want 106", h.Sum())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || len(snap[0].Samples) != 1 {
+		t.Fatalf("snapshot shape: %+v", snap)
+	}
+	s := snap[0].Samples[0]
+	// Cumulative: <=1: {0.5, 1}, <=2: +{1.5}, <=5: +{3}, +Inf: +{100}.
+	want := []Bucket{
+		{UpperBound: 1, Count: 2},
+		{UpperBound: 2, Count: 3},
+		{UpperBound: 5, Count: 4},
+		{UpperBound: math.Inf(1), Count: 5},
+	}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+	for i, b := range want {
+		if s.Buckets[i] != b {
+			t.Fatalf("bucket %d = %+v, want %+v", i, s.Buckets[i], b)
+		}
+	}
+	if s.Count != 5 || s.Sum != 106 {
+		t.Fatalf("sample count/sum = %d/%v", s.Count, s.Sum)
+	}
+}
+
+func TestHistogramDefaultAndDirtyBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("def_seconds", "", nil)
+	if got, want := len(h.bounds), len(DefBuckets); got != want {
+		t.Fatalf("default bounds = %d, want %d", got, want)
+	}
+	// Unsorted, duplicated, and non-finite bounds are cleaned.
+	h2 := r.Histogram("dirty_seconds", "", []float64{5, 1, 5, math.Inf(1), math.NaN(), 2})
+	want := []float64{1, 2, 5}
+	if len(h2.bounds) != len(want) {
+		t.Fatalf("cleaned bounds = %v", h2.bounds)
+	}
+	for i, b := range want {
+		if h2.bounds[i] != b {
+			t.Fatalf("cleaned bounds = %v, want %v", h2.bounds, want)
+		}
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewRegistry().Histogram("d_seconds", "", nil)
+	h.ObserveDuration(time.Now().Add(-time.Millisecond))
+	if h.Count() != 1 || h.Sum() <= 0 {
+		t.Fatalf("count=%d sum=%v after ObserveDuration", h.Count(), h.Sum())
+	}
+}
+
+func TestVecLabelChildren(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("group_total", "", "selector")
+	v.With("a").Add(2)
+	v.With("b").Inc()
+	v.With("a").Inc() // same child as the first
+	if got := v.With("a").Value(); got != 3 {
+		t.Fatalf(`With("a") = %v, want 3`, got)
+	}
+	if got := v.With("b").Value(); got != 1 {
+		t.Fatalf(`With("b") = %v, want 1`, got)
+	}
+	snap := findFamily(t, r, "group_total")
+	if len(snap.Samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(snap.Samples))
+	}
+	// Sorted by label value.
+	if snap.Samples[0].Labels[0].Value != "a" || snap.Samples[1].Labels[0].Value != "b" {
+		t.Fatalf("sample order: %+v", snap.Samples)
+	}
+
+	gv := r.GaugeVec("g_vec", "", "k")
+	gv.With("x").Set(4)
+	if gv.With("x").Value() != 4 {
+		t.Fatal("gauge vec child lost its value")
+	}
+	hv := r.HistogramVec("h_vec_seconds", "", []float64{1}, "k")
+	hv.With("x").Observe(0.5)
+	if hv.With("x").Count() != 1 {
+		t.Fatal("histogram vec child lost its observation")
+	}
+}
+
+func TestVecWrongLabelCount(t *testing.T) {
+	v := NewRegistry().CounterVec("v_total", "", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label count did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestLabelCardinalityOverflow(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("cards_total", "", "id")
+	v.fam.maxCard = 3
+	for i := 0; i < 10; i++ {
+		v.With(fmt.Sprintf("id-%d", i)).Inc()
+	}
+	snap := findFamily(t, r, "cards_total")
+	// 3 real children plus the overflow child.
+	if len(snap.Samples) != 4 {
+		t.Fatalf("samples = %d, want 4", len(snap.Samples))
+	}
+	if got := v.With(OverflowLabel).Value(); got != 7 {
+		t.Fatalf("overflow child = %v, want 7", got)
+	}
+	// Existing children keep working after overflow starts.
+	v.With("id-0").Inc()
+	if got := v.With("id-0").Value(); got != 2 {
+		t.Fatalf("pre-overflow child = %v, want 2", got)
+	}
+}
+
+func TestRegistryConflictPanics(t *testing.T) {
+	tests := []struct {
+		name string
+		op   func(r *Registry)
+	}{
+		{"type mismatch", func(r *Registry) {
+			r.Counter("m", "")
+			r.Gauge("m", "")
+		}},
+		{"label mismatch", func(r *Registry) {
+			r.CounterVec("m", "", "a")
+			r.CounterVec("m", "", "b")
+		}},
+		{"invalid name", func(r *Registry) { r.Counter("9bad", "") }},
+		{"empty name", func(r *Registry) { r.Counter("", "") }},
+		{"invalid rune", func(r *Registry) { r.Counter("bad-name", "") }},
+		{"invalid label", func(r *Registry) { r.CounterVec("ok", "", "bad label") }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", tt.name)
+				}
+			}()
+			tt.op(NewRegistry())
+		})
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "").Inc()
+	r.Gauge("aa", "").Set(1)
+	v := r.CounterVec("mid_total", "", "k")
+	v.With("z").Inc()
+	v.With("a").Inc()
+	s1, s2 := r.Snapshot(), r.Snapshot()
+	if len(s1) != 3 || s1[0].Name != "aa" || s1[1].Name != "mid_total" || s1[2].Name != "zz_total" {
+		t.Fatalf("family order: %+v", s1)
+	}
+	for i := range s1 {
+		if s1[i].Name != s2[i].Name || len(s1[i].Samples) != len(s2[i].Samples) {
+			t.Fatal("repeated snapshots differ")
+		}
+	}
+}
+
+func TestDefaultRegistryIsShared(t *testing.T) {
+	c1 := Default().Counter("default_shared_total", "")
+	c2 := Default().Counter("default_shared_total", "")
+	if c1 != c2 {
+		t.Fatal("Default() handed out distinct counters for one name")
+	}
+}
+
+// TestConcurrentIncrementStress drives every metric kind from many
+// goroutines; run under -race this is the package's concurrency gate, and
+// the final snapshot must reconcile exactly with the work done.
+func TestConcurrentIncrementStress(t *testing.T) {
+	r := NewRegistry()
+	const (
+		goroutines = 16
+		perG       = 2000
+	)
+	c := r.Counter("stress_total", "")
+	g := r.Gauge("stress_gauge", "")
+	h := r.Histogram("stress_seconds", "", []float64{0.5})
+	v := r.CounterVec("stress_vec_total", "", "worker")
+
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Half the goroutines hammer a shared label, half their own:
+			// exercises both the read-lock fast path and child creation.
+			label := "shared"
+			if w%2 == 0 {
+				label = fmt.Sprintf("w%d", w)
+			}
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(1)
+				v.With(label).Inc()
+				if i%100 == 0 {
+					_ = r.Snapshot() // snapshots race against writers
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := float64(goroutines * perG)
+	if c.Value() != total {
+		t.Fatalf("counter = %v, want %v", c.Value(), total)
+	}
+	if g.Value() != total {
+		t.Fatalf("gauge = %v, want %v", g.Value(), total)
+	}
+	if h.Count() != uint64(total) || h.Sum() != total {
+		t.Fatalf("histogram count/sum = %d/%v, want %v", h.Count(), h.Sum(), total)
+	}
+	var vecSum float64
+	for _, s := range findFamily(t, r, "stress_vec_total").Samples {
+		vecSum += s.Value
+	}
+	if vecSum != total {
+		t.Fatalf("vec total = %v, want %v", vecSum, total)
+	}
+}
+
+func findFamily(t *testing.T, r *Registry, name string) FamilySnapshot {
+	t.Helper()
+	for _, f := range r.Snapshot() {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("family %s not in snapshot", name)
+	return FamilySnapshot{}
+}

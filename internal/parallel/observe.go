@@ -1,0 +1,39 @@
+package parallel
+
+import (
+	"sync"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
+)
+
+// poolInstruments tracks pool usage process-wide (DESIGN.md §9). Counters
+// tick per batch/unit, so the per-task hot loop stays untouched; the busy
+// gauge brackets each batch with the worker count it resolved to.
+type poolInstruments struct {
+	batches *metrics.Counter
+	tasks   *metrics.Counter
+	busy    *metrics.Gauge
+}
+
+var (
+	insOnce sync.Once
+	pool    *poolInstruments
+)
+
+// instruments lazily binds to metrics.Default(). The pool is a package-level
+// facility with no constructor to thread a registry through, so unlike the
+// other components it always reports to the process-default registry.
+func instruments() *poolInstruments {
+	insOnce.Do(func() {
+		r := metrics.Default()
+		pool = &poolInstruments{
+			batches: r.Counter("ph_parallel_batches_total",
+				"Fan-out batches executed by the worker pool."),
+			tasks: r.Counter("ph_parallel_tasks_total",
+				"Units of work executed by the worker pool."),
+			busy: r.Gauge("ph_parallel_workers_busy",
+				"Workers currently running a fan-out batch."),
+		}
+	})
+	return pool
+}

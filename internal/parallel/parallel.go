@@ -70,6 +70,11 @@ func ForEachWorker(n, workers int, fn func(worker, i int)) {
 		return
 	}
 	workers = Resolve(workers, n)
+	ins := instruments()
+	ins.batches.Inc()
+	ins.tasks.Add(float64(n))
+	ins.busy.Add(float64(workers))
+	defer ins.busy.Add(-float64(workers))
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			fn(0, i)

@@ -170,3 +170,21 @@ func TestForEachZeroAndNegativeN(t *testing.T) {
 		t.Fatal("fn invoked for empty range")
 	}
 }
+
+func TestPoolMetrics(t *testing.T) {
+	ins := instruments()
+	batches0 := ins.batches.Value()
+	tasks0 := ins.tasks.Value()
+	ForEach(25, 4, func(int) {})
+	ForEachChunk(100, 2, 10, func(int, int) {})
+	if got := ins.batches.Value() - batches0; got != 2 {
+		t.Fatalf("batches delta = %v, want 2 (ForEachChunk dispatches through one ForEach)", got)
+	}
+	// 25 direct units plus the chunk count from ForEachChunk's inner ForEach.
+	if got := ins.tasks.Value() - tasks0; got < 26 {
+		t.Fatalf("tasks delta = %v, want >= 26", got)
+	}
+	if got := ins.busy.Value(); got != 0 {
+		t.Fatalf("busy gauge = %v after batches drained, want 0", got)
+	}
+}

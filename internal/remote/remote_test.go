@@ -2,9 +2,13 @@ package remote
 
 import (
 	"context"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/core"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
@@ -75,5 +79,90 @@ func TestRemoteSnifferContextCancellation(t *testing.T) {
 	// A cancelled context must fail fast, not hang.
 	if err := sniffer.MonitorSimHours(ctx, 2); err == nil {
 		t.Fatal("cancelled monitoring succeeded")
+	}
+}
+
+// TestRemoteMetricsEndToEnd wires one private registry through the API
+// server, the streaming client, and the monitor, runs a remote monitoring
+// session, and then scrapes the server's /metrics endpoint the way an
+// operator would: the exposition must parse and carry live counters for
+// captured tweets, stream connects/reconnects, and per-group PGE gauges.
+func TestRemoteMetricsEndToEnd(t *testing.T) {
+	cfg := socialnet.DefaultConfig()
+	cfg.NumAccounts = 1500
+	cfg.OrganicTweetsPerHour = 400
+	w, err := socialnet.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	srv := twitterapi.NewServer(socialnet.NewEngine(w), twitterapi.WithMetrics(reg))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client := twitterapi.NewClient(ts.URL, ts.Client())
+	client.SetMetrics(reg)
+
+	sniffer, err := NewSniffer(client, core.MonitorConfig{
+		Specs:   core.RandomSpec(50),
+		Seed:    1,
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sniffer.MonitorSimHours(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	m := sniffer.Monitor()
+	if len(m.Captures()) == 0 {
+		t.Fatal("remote sniffer captured nothing")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := metrics.ParseText(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("/metrics exposition invalid: %v", err)
+	}
+	byName := make(map[string]float64)
+	pgeSeries := 0
+	for _, s := range samples {
+		if len(s.Labels) == 0 {
+			byName[s.Name] = s.Value
+		}
+		if s.Name == "ph_monitor_group_pge" {
+			pgeSeries++
+		}
+	}
+	if got := byName["ph_monitor_tweets_captured_total"]; got != float64(len(m.Captures())) {
+		t.Fatalf("exposed captured tweets = %v, want %d", got, len(m.Captures()))
+	}
+	if byName["ph_stream_connects_total"] < 2 {
+		t.Fatalf("exposed stream connects = %v, want >= 2 (one per monitored hour)", byName["ph_stream_connects_total"])
+	}
+	if _, ok := byName["ph_stream_reconnects_total"]; !ok {
+		t.Fatal("ph_stream_reconnects_total absent from /metrics")
+	}
+	if pgeSeries != len(m.Groups()) {
+		t.Fatalf("PGE gauge series = %d, want one per group (%d)", pgeSeries, len(m.Groups()))
+	}
+
+	health, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = health.Body.Close()
+	if health.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", health.StatusCode)
 	}
 }

@@ -1,9 +1,12 @@
 package report
 
 import (
+	"bytes"
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
 )
 
 func TestTableRenderAlignsColumns(t *testing.T) {
@@ -145,5 +148,57 @@ func TestSeriesExportMatchesTable(t *testing.T) {
 	}
 	if !strings.Contains(string(data), `"headers":["x","y"]`) {
 		t.Fatalf("series json = %s", data)
+	}
+}
+
+func TestExportEmbedsMetricsSnapshot(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("ph_test_total", "test counter").Add(5)
+	reg.Histogram("ph_test_seconds", "test latency", nil).Observe(0.25)
+
+	tbl := &Table{Title: "T", Headers: []string{"a"}}
+	tbl.AddRow("x")
+	var buf bytes.Buffer
+	if err := NewExport([]*Table{tbl}, reg).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Tables []struct {
+			Title string `json:"title"`
+		} `json:"tables"`
+		Metrics []struct {
+			Name string `json:"name"`
+			Type string `json:"type"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("export JSON invalid: %v", err)
+	}
+	if len(decoded.Tables) != 1 || decoded.Tables[0].Title != "T" {
+		t.Fatalf("tables = %+v", decoded.Tables)
+	}
+	names := make(map[string]string)
+	for _, m := range decoded.Metrics {
+		names[m.Name] = m.Type
+	}
+	if names["ph_test_total"] != "counter" || names["ph_test_seconds"] != "histogram" {
+		t.Fatalf("metrics section = %v", names)
+	}
+
+	mt := MetricsTable(reg.Snapshot())
+	if len(mt.Rows) != 2 {
+		t.Fatalf("metrics table rows = %d, want 2", len(mt.Rows))
+	}
+	if got := mt.Render(); !strings.Contains(got, "ph_test_total") {
+		t.Fatalf("rendered metrics table missing counter:\n%s", got)
+	}
+
+	// A nil registry omits the section entirely.
+	buf.Reset()
+	if err := NewExport([]*Table{tbl}, nil).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "\"metrics\"") {
+		t.Fatal("nil-registry export still has a metrics section")
 	}
 }

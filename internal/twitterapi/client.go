@@ -12,6 +12,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
 )
 
 // Client consumes the emulated Twitter API: REST helpers plus a streaming
@@ -21,6 +23,7 @@ import (
 type Client struct {
 	base string
 	http *http.Client
+	ins  *clientInstruments
 
 	// InitialBackoff and MaxBackoff bound the reconnect delays of Stream.
 	InitialBackoff time.Duration
@@ -29,6 +32,7 @@ type Client struct {
 
 // NewClient creates a client for the server at baseURL (e.g.
 // "http://127.0.0.1:8080"). httpClient may be nil for http.DefaultClient.
+// Instrumentation reports through metrics.Default(); see SetMetrics.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
@@ -36,9 +40,15 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 	return &Client{
 		base:           strings.TrimRight(baseURL, "/"),
 		http:           httpClient,
+		ins:            newClientInstruments(metrics.Default()),
 		InitialBackoff: 250 * time.Millisecond,
 		MaxBackoff:     8 * time.Second,
 	}
+}
+
+// SetMetrics rebinds the client's instrumentation to r (call before use).
+func (c *Client) SetMetrics(r *metrics.Registry) {
+	c.ins = newClientInstruments(r)
 }
 
 // UserShow fetches one user by screen name.
@@ -162,23 +172,35 @@ type StreamFilter struct {
 // Stream attaches to statuses/filter and invokes handler for every tweet
 // until ctx is cancelled. Dropped connections are re-established with
 // exponential backoff; the error is returned only when ctx ends or the
-// server rejects the request outright.
+// server rejects the request outright. A connection that delivered at
+// least one tweet was healthy, so the backoff ladder restarts from
+// InitialBackoff rather than resuming where the previous outage left it.
 func (c *Client) Stream(ctx context.Context, filter StreamFilter, handler func(Tweet)) error {
 	backoff := c.InitialBackoff
 	for {
-		err := c.streamOnce(ctx, filter, handler)
-		switch {
-		case ctx.Err() != nil:
+		delivered := false
+		err := c.streamOnce(ctx, filter, func(t Tweet) {
+			delivered = true
+			c.ins.streamTweets.Inc()
+			handler(t)
+		})
+		if ctx.Err() != nil {
 			return ctx.Err()
-		case err == nil:
-			// Server closed the stream cleanly; reconnect immediately.
+		}
+		if delivered || err == nil {
 			backoff = c.InitialBackoff
+		}
+		if err == nil {
+			// Server closed the stream cleanly; reconnect immediately.
+			c.ins.reconnects.Inc()
 			continue
 		}
 		var apiErr *APIError
 		if errors.As(err, &apiErr) && apiErr.Code >= 400 && apiErr.Code < 500 {
 			return err // client error: retrying cannot help
 		}
+		c.ins.reconnects.Inc()
+		c.ins.backoff.Set(backoff.Seconds())
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
@@ -220,6 +242,7 @@ func (c *Client) streamOnce(ctx context.Context, filter StreamFilter, handler fu
 	if resp.StatusCode != http.StatusOK {
 		return decodeAPIError(resp)
 	}
+	c.ins.connects.Inc()
 	scanner := bufio.NewScanner(resp.Body)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for scanner.Scan() {
@@ -249,12 +272,14 @@ func (c *Client) getJSON(ctx context.Context, path string, vals url.Values, out 
 }
 
 func (c *Client) do(req *http.Request, out any) error {
+	defer c.ins.reqSecs.With(req.URL.Path).ObserveDuration(time.Now())
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
 	}
 	if resp.StatusCode == http.StatusTooManyRequests {
 		// Honour Retry-After once, as well-behaved API consumers do.
+		c.ins.rateLimited.Inc()
 		wait := retryAfter(resp, c.MaxBackoff)
 		_ = resp.Body.Close()
 		select {

@@ -1,0 +1,235 @@
+package twitterapi
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+)
+
+// TestStreamReconnectMetrics injects repeated stream drops and reconciles
+// the client's connect/reconnect/tweet counters with what the server saw.
+func TestStreamReconnectMetrics(t *testing.T) {
+	flaky := &flakyStream{}
+	srv := httptest.NewServer(flaky)
+	defer srv.Close()
+
+	reg := metrics.NewRegistry()
+	client := NewClient(srv.URL, srv.Client())
+	client.SetMetrics(reg)
+	client.InitialBackoff = time.Millisecond
+	client.MaxBackoff = 5 * time.Millisecond
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var delivered atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = client.Stream(ctx, StreamFilter{}, func(Tweet) {
+			if delivered.Add(1) >= 5 {
+				cancel()
+			}
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		cancel()
+		<-done
+	}
+
+	if got := reg.Counter("ph_stream_tweets_total", "").Value(); got != float64(delivered.Load()) {
+		t.Fatalf("stream tweets counter = %v, want %d", got, delivered.Load())
+	}
+	if got := reg.Counter("ph_stream_connects_total", "").Value(); got != float64(flaky.connects.Load()) {
+		t.Fatalf("connects counter = %v, server saw %d", got, flaky.connects.Load())
+	}
+	// Every cycle but the final cancelled one re-attaches.
+	if got := reg.Counter("ph_stream_reconnects_total", "").Value(); got < 4 {
+		t.Fatalf("reconnects counter = %v, want >= 4", got)
+	}
+}
+
+// abruptStream delivers one tweet per connection then kills the connection
+// mid-stream (no terminal chunk), so the client sees a read error — the
+// "delivered then dropped" shape that previously kept the backoff ladder
+// climbing forever.
+type abruptStream struct {
+	connects atomic.Int64
+}
+
+func (f *abruptStream) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.connects.Add(1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(Tweet{ID: f.connects.Load()})
+	if flusher, ok := w.(http.Flusher); ok {
+		flusher.Flush()
+	}
+	panic(http.ErrAbortHandler)
+}
+
+// TestStreamBackoffResetsAfterHealthyRead pins the backoff-reset fix: a
+// connection that delivered at least one tweet restarts the ladder at
+// InitialBackoff, so across many delivered-then-dropped cycles the applied
+// backoff never climbs toward MaxBackoff.
+func TestStreamBackoffResetsAfterHealthyRead(t *testing.T) {
+	abrupt := &abruptStream{}
+	srv := httptest.NewServer(abrupt)
+	defer srv.Close()
+
+	reg := metrics.NewRegistry()
+	client := NewClient(srv.URL, srv.Client())
+	client.SetMetrics(reg)
+	client.InitialBackoff = time.Millisecond
+	client.MaxBackoff = 64 * time.Millisecond
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var delivered atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = client.Stream(ctx, StreamFilter{}, func(Tweet) {
+			if delivered.Add(1) >= 8 {
+				cancel()
+			}
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		cancel()
+		<-done
+	}
+	if delivered.Load() < 8 {
+		t.Fatalf("delivered %d tweets, want >= 8", delivered.Load())
+	}
+	// The gauge records the most recently applied delay. Un-reset, eight
+	// doublings from 1ms would have pinned it at the 64ms cap.
+	got := reg.Gauge("ph_stream_backoff_seconds", "").Value()
+	if want := client.InitialBackoff.Seconds(); got != want {
+		t.Fatalf("backoff gauge = %vs after healthy reads, want %vs", got, want)
+	}
+}
+
+// TestClientRateLimitMetrics covers the 429-then-retry path: the rate-limit
+// counter ticks and the request latency histogram records the call.
+func TestClientRateLimitMetrics(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if hits == 1 {
+			w.Header().Set("Retry-After", "0")
+			writeErr(w, http.StatusTooManyRequests, "slow down")
+			return
+		}
+		writeJSON(w, SimStats{Hours: 3})
+	}))
+	defer srv.Close()
+
+	reg := metrics.NewRegistry()
+	client := NewClient(srv.URL, srv.Client())
+	client.SetMetrics(reg)
+	client.MaxBackoff = 20 * time.Millisecond
+	if _, err := client.Stats(context.Background()); err != nil {
+		t.Fatalf("Stats after 429: %v", err)
+	}
+	if got := reg.Counter("ph_client_rate_limited_total", "").Value(); got != 1 {
+		t.Fatalf("rate-limited counter = %v, want 1", got)
+	}
+	reqSecs := reg.HistogramVec("ph_client_request_seconds", "", nil, "path")
+	if got := reqSecs.With("/sim/stats.json").Count(); got != 1 {
+		t.Fatalf("request latency count = %d, want 1", got)
+	}
+}
+
+// TestServerMetricsEndpoints exercises the server-side observability stack
+// end to end: REST traffic and a 429 show up in the registry, /metrics
+// serves valid Prometheus text containing them, and /healthz answers.
+func TestServerMetricsEndpoints(t *testing.T) {
+	cfg := socialnet.DefaultConfig()
+	cfg.NumAccounts = 300
+	w, err := socialnet.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	srv := NewServer(socialnet.NewEngine(w),
+		WithMetrics(reg), WithRateLimit(2, time.Hour))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/1.1/trends.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}
+	requests := reg.CounterVec("ph_api_requests_total", "", "endpoint")
+	if got := requests.With("trends").Value(); got != 3 {
+		t.Fatalf("trends request counter = %v, want 3", got)
+	}
+	limited := reg.CounterVec("ph_api_rate_limited_total", "", "endpoint")
+	if got := limited.With("trends").Value(); got != 1 {
+		t.Fatalf("rate-limited counter = %v, want 1", got)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.TextContentType {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := metrics.ParseText(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("/metrics not valid exposition text: %v", err)
+	}
+	found := false
+	for _, s := range samples {
+		if s.Name == "ph_api_requests_total" && s.Labels["endpoint"] == "trends" {
+			found = true
+			if s.Value != 3 {
+				t.Fatalf("exposed trends counter = %v, want 3", s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("ph_api_requests_total{endpoint=\"trends\"} absent from /metrics")
+	}
+
+	health, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = health.Body.Close() }()
+	if health.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", health.StatusCode)
+	}
+	var hb struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(health.Body).Decode(&hb); err != nil || hb.Status != "ok" {
+		t.Fatalf("/healthz body: %+v err=%v", hb, err)
+	}
+}

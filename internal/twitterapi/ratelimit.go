@@ -63,6 +63,7 @@ func (s *Server) rateLimited(endpoint string, h http.HandlerFunc) http.HandlerFu
 	return func(w http.ResponseWriter, r *http.Request) {
 		ok, retryIn := s.limiter.allow(endpoint)
 		if !ok {
+			s.ins.rateLimited.With(endpoint).Inc()
 			secs := int(retryIn.Seconds()) + 1
 			w.Header().Set("Retry-After", strconv.Itoa(secs))
 			writeErr(w, http.StatusTooManyRequests, "rate limit exceeded")

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
 )
 
@@ -32,6 +33,12 @@ func WithSeed(seed int64) ServerOption {
 	return func(s *Server) { s.rng = rand.New(rand.NewSource(seed)) }
 }
 
+// WithMetrics routes the server's instrumentation — and the /metrics
+// endpoint it serves — through r instead of metrics.Default().
+func WithMetrics(r *metrics.Registry) ServerOption {
+	return func(s *Server) { s.reg = r }
+}
+
 // Server exposes a socialnet Engine over the emulated Twitter API. All
 // engine access is serialized through an internal mutex, so handlers may
 // run concurrently.
@@ -47,6 +54,8 @@ type Server struct {
 
 	limiter *rateLimiter
 	mux     *http.ServeMux
+	reg     *metrics.Registry
+	ins     *serverInstruments
 }
 
 // stream is one connected streaming client.
@@ -71,16 +80,22 @@ func NewServer(engine *socialnet.Engine, opts ...ServerOption) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.reg == nil {
+		s.reg = metrics.Default()
+	}
+	s.ins = newServerInstruments(s.reg)
 	// One engine subscription fans out to every connected stream.
 	engine.Subscribe(s.dispatch)
 
 	s.mux.HandleFunc("POST /1.1/statuses/filter.json", s.handleFilter)
-	s.mux.HandleFunc("GET /1.1/users/show.json", s.rateLimited("users/show", s.handleUserShow))
-	s.mux.HandleFunc("GET /1.1/users/lookup.json", s.rateLimited("users/lookup", s.handleUserLookup))
-	s.mux.HandleFunc("GET /1.1/users/search.json", s.rateLimited("users/search", s.handleUserSearch))
-	s.mux.HandleFunc("GET /1.1/trends.json", s.rateLimited("trends", s.handleTrends))
-	s.mux.HandleFunc("POST /sim/advance.json", s.handleAdvance)
-	s.mux.HandleFunc("GET /sim/stats.json", s.handleStats)
+	s.mux.HandleFunc("GET /1.1/users/show.json", s.observed("users/show", s.rateLimited("users/show", s.handleUserShow)))
+	s.mux.HandleFunc("GET /1.1/users/lookup.json", s.observed("users/lookup", s.rateLimited("users/lookup", s.handleUserLookup)))
+	s.mux.HandleFunc("GET /1.1/users/search.json", s.observed("users/search", s.rateLimited("users/search", s.handleUserSearch)))
+	s.mux.HandleFunc("GET /1.1/trends.json", s.observed("trends", s.rateLimited("trends", s.handleTrends)))
+	s.mux.HandleFunc("POST /sim/advance.json", s.observed("sim/advance", s.handleAdvance))
+	s.mux.HandleFunc("GET /sim/stats.json", s.observed("sim/stats", s.handleStats))
+	s.mux.Handle("GET /metrics", s.reg.Handler())
+	s.mux.Handle("GET /healthz", metrics.HealthHandler())
 	return s
 }
 
@@ -107,8 +122,10 @@ func (s *Server) dispatch(t *socialnet.Tweet) {
 		}
 		select {
 		case st.ch <- t:
+			s.ins.streamTweets.Inc()
 		default:
 			st.dropped++
+			s.ins.streamDropped.Inc()
 		}
 	}
 }
@@ -174,7 +191,9 @@ func (s *Server) handleFilter(w http.ResponseWriter, r *http.Request) {
 	s.nextID++
 	s.streams[id] = st
 	s.streamsMu.Unlock()
+	s.ins.streams.Add(1)
 	defer func() {
+		s.ins.streams.Add(-1)
 		s.streamsMu.Lock()
 		delete(s.streams, id)
 		s.streamsMu.Unlock()
