@@ -42,9 +42,14 @@ cover-metrics:
 		else printf "internal/metrics coverage %s%% (gate %d%%)\n", $$3, min }'
 	@rm -f .metrics.cover
 
-# bench runs the parallel-layer speedup benchmarks; the
-# speedup-vs-1worker metric compares the default worker count against a
-# single-worker baseline (expect ~1.0 on a single-core machine).
+# bench runs the ML training and parallel-layer benchmarks, then
+# regenerates the committed BENCH_ml.json baseline via cmd/benchreport.
+# speedup-vs-reference compares the presorted-column split engine against
+# the legacy per-node-sort scan (algorithmic win, visible on any core
+# count); speedup-vs-1worker compares the default worker count against a
+# single-worker fit (expect ~1.0 on a single-core machine).
 bench:
-	$(GO) test -run NONE -bench 'ForestFit|CrossValidate|DetectorClassify' \
-		./internal/ml/forest/ ./internal/ml/ ./internal/core/
+	$(GO) test -run NONE -bench 'TreeFit|ForestFit|BoostFit|CrossValidate|DetectorClassify' \
+		./internal/ml/tree/ ./internal/ml/forest/ ./internal/ml/boost/ \
+		./internal/ml/ ./internal/core/
+	$(GO) run ./cmd/benchreport -mlbench BENCH_ml.json

@@ -38,8 +38,12 @@ func run() error {
 		figure    = flag.Int("figure", 0, "regenerate only Figure N (2-6)")
 		format    = flag.String("format", "text", "output format: text, csv, or json")
 		outDir    = flag.String("out", "", "also write each experiment as a CSV file into this directory")
+		mlBench   = flag.String("mlbench", "", "skip the experiment tables and regenerate the ML training baseline JSON at this path (e.g. BENCH_ml.json)")
 	)
 	flag.Parse()
+	if *mlBench != "" {
+		return runMLBench(*mlBench)
+	}
 	if *format != "text" && *format != "csv" && *format != "json" {
 		return fmt.Errorf("unknown format %q", *format)
 	}

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/boost"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/forest"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/tree"
+)
+
+// mlBenchReps is the number of timed fits per mode; the median is
+// reported so a single scheduler hiccup cannot skew the baseline file.
+const mlBenchReps = 3
+
+// mlBenchReport is the schema of BENCH_ml.json.
+type mlBenchReport struct {
+	Dataset    mlBenchDataset `json:"dataset"`
+	Benchmarks []mlBenchEntry `json:"benchmarks"`
+}
+
+type mlBenchDataset struct {
+	Samples  int    `json:"samples"`
+	Features int    `json:"features"`
+	Seed     int64  `json:"seed"`
+	Note     string `json:"note"`
+}
+
+type mlBenchEntry struct {
+	Name        string  `json:"name"`
+	Config      string  `json:"config"`
+	BaselineMS  float64 `json:"baseline_ms"`
+	PresortedMS float64 `json:"presorted_ms"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// mlBenchData fabricates the fixed training set every mlbench run uses:
+// a mix of continuous and quantized columns (every third column is
+// rounded to halves, mimicking count-like spam features) with a noisy
+// nonlinear label.
+func mlBenchData(n, d int, seed int64) ([][]float64, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]bool, n)
+	for i := range x {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+			if j%3 == 0 {
+				row[j] = math.Round(row[j]*2) / 2
+			}
+		}
+		x[i] = row
+		y[i] = row[0]+row[1]*row[2] > 1
+		if rng.Float64() < 0.05 {
+			y[i] = !y[i]
+		}
+	}
+	return x, y
+}
+
+// medianFitMS times fn mlBenchReps times and returns the median in
+// milliseconds. A warm-up call precedes the timed runs.
+func medianFitMS(fn func()) float64 {
+	fn()
+	times := make([]float64, mlBenchReps)
+	for r := range times {
+		start := time.Now()
+		fn()
+		times[r] = float64(time.Since(start)) / float64(time.Millisecond)
+	}
+	sort.Float64s(times)
+	return times[mlBenchReps/2]
+}
+
+// runMLBench regenerates the BENCH_ml.json baseline: for each of the
+// three training paths (CART tree, paper-config forest, boosted
+// ensemble) it times the legacy per-node-sort reference scan against the
+// presorted-column engine on the same data and verifies the exact-mode
+// models agree bit for bit before recording the speedup.
+func runMLBench(path string) error {
+	const (
+		n    = 2000
+		d    = 17
+		seed = 42
+	)
+	x, y := mlBenchData(n, d, seed)
+	probes, _ := mlBenchData(200, d, seed+1)
+
+	report := mlBenchReport{
+		Dataset: mlBenchDataset{
+			Samples:  n,
+			Features: d,
+			Seed:     seed,
+			Note:     "synthetic spam-like features; median of " + fmt.Sprint(mlBenchReps) + " fits per mode",
+		},
+	}
+
+	// CART tree, paper-style effectively-unbounded depth.
+	{
+		fit := func(reference bool) *tree.Tree {
+			tr := tree.New(tree.Config{MaxDepth: 700, Seed: 1, Reference: reference})
+			if err := tr.Fit(x, y); err != nil {
+				panic(err)
+			}
+			return tr
+		}
+		a, b := fit(false), fit(true)
+		for _, p := range probes {
+			if a.Predict(p) != b.Predict(p) {
+				return fmt.Errorf("mlbench: tree exact mode diverges from reference")
+			}
+		}
+		base := medianFitMS(func() { fit(true) })
+		fast := medianFitMS(func() { fit(false) })
+		report.Benchmarks = append(report.Benchmarks, mlBenchEntry{
+			Name: "TreeFit", Config: "MaxDepth=700",
+			BaselineMS: base, PresortedMS: fast, Speedup: base / fast,
+		})
+	}
+
+	// Random forest at the paper deployment config (70 trees, depth 700).
+	{
+		fit := func(reference bool) *forest.Forest {
+			cfg := forest.PaperConfig()
+			cfg.Reference = reference
+			f := forest.New(cfg)
+			if err := f.Fit(x, y); err != nil {
+				panic(err)
+			}
+			return f
+		}
+		a, b := fit(false), fit(true)
+		for _, p := range probes {
+			if a.PredictProba(p) != b.PredictProba(p) {
+				return fmt.Errorf("mlbench: forest exact mode diverges from reference")
+			}
+		}
+		base := medianFitMS(func() { fit(true) })
+		fast := medianFitMS(func() { fit(false) })
+		report.Benchmarks = append(report.Benchmarks, mlBenchEntry{
+			Name: "ForestFit", Config: "paper config: Trees=70 MaxDepth=700",
+			BaselineMS: base, PresortedMS: fast, Speedup: base / fast,
+		})
+	}
+
+	// Gradient boosting in the detector's EGB shape.
+	{
+		fit := func(reference bool) *boost.Boost {
+			bst := boost.New(boost.Config{Rounds: 100, MaxDepth: 3, Seed: 1, Reference: reference})
+			if err := bst.Fit(x, y); err != nil {
+				panic(err)
+			}
+			return bst
+		}
+		a, b := fit(false), fit(true)
+		for _, p := range probes {
+			if a.PredictProba(p) != b.PredictProba(p) {
+				return fmt.Errorf("mlbench: boost exact mode diverges from reference")
+			}
+		}
+		base := medianFitMS(func() { fit(true) })
+		fast := medianFitMS(func() { fit(false) })
+		report.Benchmarks = append(report.Benchmarks, mlBenchEntry{
+			Name: "BoostFit", Config: "Rounds=100 MaxDepth=3",
+			BaselineMS: base, PresortedMS: fast, Speedup: base / fast,
+		})
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	for _, e := range report.Benchmarks {
+		fmt.Printf("%-10s %-40s baseline %8.1f ms  presorted %8.1f ms  speedup %.2fx\n",
+			e.Name, e.Config, e.BaselineMS, e.PresortedMS, e.Speedup)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -7,12 +7,12 @@ import (
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/features"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/label"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/boost"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/forest"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/knn"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/svm"
-	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/tree"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/parallel"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"

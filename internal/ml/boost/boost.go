@@ -7,6 +7,8 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/split"
 )
 
 // Config holds boosting hyperparameters.
@@ -23,6 +25,13 @@ type Config struct {
 	Subsample float64
 	// Seed drives row subsampling.
 	Seed int64
+	// Bins enables histogram-binned split finding in every round's
+	// regression tree (see tree.Config.Bins); non-positive keeps the
+	// exact scan.
+	Bins int
+	// Reference selects the legacy per-node sort.Slice split scan, the
+	// property-suite oracle and -mlbench baseline.
+	Reference bool
 }
 
 // Boost is a trained gradient-boosting classifier.
@@ -77,6 +86,15 @@ func (b *Boost) Fit(x [][]float64, y []bool) error {
 	hess := make([]float64, n)
 	rng := rand.New(rand.NewSource(b.cfg.Seed))
 
+	// Sort the feature space once; each round's tree view (full or
+	// subsampled) is derived from the pristine order in O(d·n) and the
+	// engine's buffers are recycled round to round.
+	var presort *split.Presort
+	var eng *split.Engine
+	if !b.cfg.Reference {
+		presort = split.NewPresort(x)
+	}
+
 	b.trees = b.trees[:0]
 	for round := 0; round < b.cfg.Rounds; round++ {
 		for i := range f {
@@ -90,7 +108,19 @@ func (b *Boost) Fit(x [][]float64, y []bool) error {
 		}
 		idx := b.sampleRows(n, rng)
 		t := &regTree{maxDepth: b.cfg.MaxDepth, minLeaf: b.cfg.MinLeaf}
-		t.fit(x, grad, hess, idx)
+		if b.cfg.Reference {
+			t.fitRef(x, grad, hess, idx)
+		} else {
+			if len(idx) == n {
+				eng = presort.NewEngine(x, eng)
+			} else {
+				eng = presort.NewSubsetEngine(x, idx, eng)
+			}
+			if b.cfg.Bins > 1 {
+				eng.SetBins(b.cfg.Bins)
+			}
+			t.fitEngine(eng, grad, hess)
+		}
 		b.trees = append(b.trees, t)
 		for i := range f {
 			f[i] += b.cfg.LearningRate * t.predict(x[i])

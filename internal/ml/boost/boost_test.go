@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/split"
 )
 
 // circleData is a nonlinear task with first-order signal on single splits:
@@ -157,6 +159,32 @@ func TestBoostEmptyFitErrors(t *testing.T) {
 	bst := New(Config{})
 	if err := bst.Fit(nil, nil); err == nil {
 		t.Fatal("empty fit accepted")
+	}
+}
+
+// TestRegTreeMinLeafGuardInScan verifies the MinLeaf guard sits inside
+// the gradient scan: when the best unconstrained split would isolate one
+// outlier gradient, the tree must take the best admissible split instead
+// of giving up on splitting (the pre-guard behavior collapsed to a leaf).
+func TestRegTreeMinLeafGuardInScan(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}, {3}, {4}}
+	grad := []float64{10, -1, -1, -1, -1}
+	hess := []float64{1, 1, 1, 1, 1}
+
+	rt := &regTree{maxDepth: 3, minLeaf: 2}
+	e := split.NewPresort(x).NewEngine(x, nil)
+	rt.fitEngine(e, grad, hess)
+	if rt.root == nil || rt.root.leaf {
+		t.Fatal("guarded scan collapsed to a leaf despite an admissible split")
+	}
+	if rt.root.threshold != 1.5 {
+		t.Fatalf("root threshold %v, want 1.5 (best admissible)", rt.root.threshold)
+	}
+
+	ref := &regTree{maxDepth: 3, minLeaf: 2}
+	ref.fitRef(x, grad, hess, []int{0, 1, 2, 3, 4})
+	if ref.root.leaf || ref.root.threshold != rt.root.threshold {
+		t.Fatalf("reference disagrees: leaf=%v thr=%v", ref.root.leaf, ref.root.threshold)
 	}
 }
 

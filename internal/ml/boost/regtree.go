@@ -1,10 +1,15 @@
 package boost
 
-import "sort"
+import "github.com/pseudo-honeypot/pseudohoneypot/internal/ml/split"
 
 // regTree is a regression tree fit to gradient/hessian pairs with
 // variance-reduction splits and Newton leaf values, as in XGBoost-style
-// boosting.
+// boosting. Split finding runs on the shared presorted-column engine
+// (internal/ml/split): the booster sorts the feature space once per Fit
+// and every round's tree grows by stable partitioning, scanning each
+// node in a single cumulative-gradient pass per feature. Cumulative sums
+// follow the engine's (value, id) order, so they are deterministic and
+// bit-identical to the reference scan in regtree_ref.go.
 type regTree struct {
 	maxDepth int
 	minLeaf  int
@@ -20,8 +25,14 @@ type regNode struct {
 	value     float64
 }
 
-func (t *regTree) fit(x [][]float64, grad, hess []float64, idx []int) {
-	t.root = t.grow(x, grad, hess, idx, 0)
+// fitEngine grows the tree over a prepared engine view; grad and hess
+// are indexed by the engine's row ids.
+func (t *regTree) fitEngine(e *split.Engine, grad, hess []float64) {
+	if e.Len() == 0 {
+		t.root = &regNode{leaf: true}
+		return
+	}
+	t.root = t.grow(e, grad, hess, 0, e.Len(), 0)
 }
 
 func (t *regTree) predict(x []float64) float64 {
@@ -39,89 +50,141 @@ func (t *regTree) predict(x []float64) float64 {
 	return n.value
 }
 
-func (t *regTree) grow(x [][]float64, grad, hess []float64, idx []int, depth int) *regNode {
-	if depth >= t.maxDepth || len(idx) < 2*t.minLeaf {
-		return t.leafNode(grad, hess, idx)
+func (t *regTree) grow(e *split.Engine, grad, hess []float64, lo, hi, depth int) *regNode {
+	n := hi - lo
+	if depth >= t.maxDepth || n < 2*t.minLeaf {
+		return t.leafNode(e, grad, hess, lo, hi)
 	}
-	feature, threshold, ok := t.bestSplit(x, grad, idx)
+	feature, threshold, ok := t.bestSplit(e, grad, lo, hi)
 	if !ok {
-		return t.leafNode(grad, hess, idx)
+		return t.leafNode(e, grad, hess, lo, hi)
 	}
-	var left, right []int
-	for _, i := range idx {
-		if x[i][feature] <= threshold {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
+	var mid int
+	if split.Small(n) {
+		mid = e.PartitionRows(feature, threshold, lo, hi)
+	} else {
+		mid = e.Partition(feature, threshold, lo, hi)
 	}
-	if len(left) < t.minLeaf || len(right) < t.minLeaf {
-		return t.leafNode(grad, hess, idx)
-	}
-	return &regNode{
-		feature:   feature,
-		threshold: threshold,
-		left:      t.grow(x, grad, hess, left, depth+1),
-		right:     t.grow(x, grad, hess, right, depth+1),
-	}
+	nd := &regNode{feature: feature, threshold: threshold}
+	nd.left = t.grow(e, grad, hess, lo, mid, depth+1)
+	nd.right = t.grow(e, grad, hess, mid, hi, depth+1)
+	return nd
 }
 
-// leafNode takes the Newton step Σg / (Σh + ε).
-func (t *regTree) leafNode(grad, hess []float64, idx []int) *regNode {
+// leafNode takes the Newton step Σg / (Σh + ε), accumulating in
+// ascending row-id order (the arena's invariant) for determinism.
+func (t *regTree) leafNode(e *split.Engine, grad, hess []float64, lo, hi int) *regNode {
 	const eps = 1e-9
 	var g, h float64
-	for _, i := range idx {
-		g += grad[i]
-		h += hess[i]
+	for _, id := range e.Rows(lo, hi) {
+		g += grad[id]
+		h += hess[id]
 	}
 	return &regNode{leaf: true, value: g / (h + eps)}
 }
 
 // bestSplit maximizes the reduction in gradient variance (equivalently the
-// gain of the squared-gradient-sum criterion).
-func (t *regTree) bestSplit(x [][]float64, grad []float64, idx []int) (int, float64, bool) {
-	if len(idx) == 0 {
-		return 0, 0, false
-	}
-	d := len(x[0])
-	type pair struct {
-		v, g float64
-	}
-	pairs := make([]pair, len(idx))
-
+// gain of the squared-gradient-sum criterion). Candidates that would
+// leave a child under MinLeaf are skipped in the scan, so the best
+// admissible split is taken instead of collapsing to a leaf.
+func (t *regTree) bestSplit(e *split.Engine, grad []float64, lo, hi int) (int, float64, bool) {
+	total := hi - lo
 	totalG := 0.0
-	for _, i := range idx {
-		totalG += grad[i]
+	for _, id := range e.Rows(lo, hi) {
+		totalG += grad[id]
 	}
-	n := float64(len(idx))
+	n := float64(total)
 	baseScore := totalG * totalG / n
 
 	bestGain := 1e-12
 	bestFeature, bestThreshold := -1, 0.0
-	for f := 0; f < d; f++ {
-		for k, i := range idx {
-			pairs[k] = pair{v: x[i][f], g: grad[i]}
+	small := split.Small(total)
+	for f := 0; f < e.Features(); f++ {
+		var thr, gain float64
+		var ok bool
+		if small {
+			vals, ids := e.SortedCol(f, lo, hi)
+			thr, gain, ok = t.scanCol(vals, ids, grad, totalG, baseScore)
+		} else if edges := e.Edges(f); edges != nil {
+			vals, ids := e.Col(f, lo, hi)
+			thr, gain, ok = t.scanBinned(vals, ids, edges, grad, totalG, baseScore)
+		} else {
+			vals, ids := e.Col(f, lo, hi)
+			thr, gain, ok = t.scanCol(vals, ids, grad, totalG, baseScore)
 		}
-		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
-		leftG := 0.0
-		for k := 0; k < len(pairs)-1; k++ {
-			leftG += pairs[k].g
-			if pairs[k].v == pairs[k+1].v {
-				continue
-			}
-			leftN := float64(k + 1)
-			rightN := n - leftN
-			rightG := totalG - leftG
-			gain := leftG*leftG/leftN + rightG*rightG/rightN - baseScore
-			if gain > bestGain {
-				bestGain = gain
-				bestFeature = f
-				bestThreshold = (pairs[k].v + pairs[k+1].v) / 2
-			}
+		if ok && gain > bestGain {
+			bestGain = gain
+			bestFeature = f
+			bestThreshold = thr
 		}
 	}
 	if bestFeature < 0 {
 		return 0, 0, false
 	}
 	return bestFeature, bestThreshold, true
+}
+
+// scanCol finds one sorted column's best admissible threshold in a
+// single cumulative-gradient pass.
+func (t *regTree) scanCol(vals []float64, ids []int32, grad []float64, totalG, baseScore float64) (float64, float64, bool) {
+	total := len(vals)
+	n := float64(total)
+	best, thr, found := 1e-12, 0.0, false
+	leftG := 0.0
+	for k := 0; k < total-1; k++ {
+		leftG += grad[ids[k]]
+		if vals[k] == vals[k+1] {
+			continue
+		}
+		leftN := k + 1
+		if leftN < t.minLeaf {
+			continue
+		}
+		if total-leftN < t.minLeaf {
+			break
+		}
+		fLeftN := float64(leftN)
+		rightG := totalG - leftG
+		gain := leftG*leftG/fLeftN + rightG*rightG/(n-fLeftN) - baseScore
+		if gain > best {
+			best, thr, found = gain, (vals[k]+vals[k+1])/2, true
+		}
+	}
+	return thr, best, found
+}
+
+// scanBinned evaluates only the precomputed quantile edges.
+func (t *regTree) scanBinned(vals []float64, ids []int32, edges []float64, grad []float64, totalG, baseScore float64) (float64, float64, bool) {
+	total := len(vals)
+	n := float64(total)
+	best, thr, found := 1e-12, 0.0, false
+	leftG := 0.0
+	leftN := 0
+	k := 0
+	for _, edge := range edges {
+		for k < total && vals[k] <= edge {
+			leftG += grad[ids[k]]
+			leftN++
+			k++
+		}
+		if leftN == 0 {
+			continue
+		}
+		if leftN >= total {
+			break
+		}
+		if leftN < t.minLeaf {
+			continue
+		}
+		if total-leftN < t.minLeaf {
+			break
+		}
+		fLeftN := float64(leftN)
+		rightG := totalG - leftG
+		gain := leftG*leftG/fLeftN + rightG*rightG/(n-fLeftN) - baseScore
+		if gain > best {
+			best, thr, found = gain, edge, true
+		}
+	}
+	return thr, best, found
 }

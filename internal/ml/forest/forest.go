@@ -9,6 +9,7 @@ import (
 	"math"
 	"math/rand"
 
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/split"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/tree"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/parallel"
 )
@@ -31,6 +32,13 @@ type Config struct {
 	// bit-identical at any worker count: each tree derives its own
 	// random stream from Seed and its tree index.
 	Workers int
+	// Bins enables histogram-binned split finding in every tree (see
+	// tree.Config.Bins); non-positive keeps the exact scan.
+	Bins int
+	// Reference grows every tree with the legacy per-node sort.Slice
+	// scan — the property-suite oracle and -mlbench baseline. Exact-mode
+	// ensembles are identical either way.
+	Reference bool
 }
 
 // PaperConfig returns the configuration the paper deploys: 70 trees with a
@@ -88,12 +96,22 @@ func (f *Forest) Fit(x [][]float64, y []bool) error {
 		seeds[ti] = rng.Int63()
 	}
 
+	// The feature space is sorted once; every tree's bootstrap view is
+	// expanded from the shared pristine order in O(d·n) instead of
+	// re-sorting per tree (Presort is immutable and safe to share).
+	var presort *split.Presort
+	if !f.cfg.Reference {
+		presort = split.NewPresort(x)
+	}
+
 	workers := parallel.Resolve(f.cfg.Workers, f.cfg.Trees)
 	// Per-worker bootstrap views: a tree's training view is consumed by
-	// tree.Fit before its worker moves on, so the buffers can be reused.
+	// tree.Fit before its worker moves on, so the buffers (including the
+	// split engine) can be reused.
 	type scratch struct {
-		bx [][]float64
-		by []bool
+		bx  [][]float64
+		by  []bool
+		eng *split.Engine
 	}
 	scratches := make([]scratch, workers)
 	errs := make([]error, f.cfg.Trees)
@@ -107,14 +125,23 @@ func (f *Forest) Fit(x [][]float64, y []bool) error {
 			s.bx[i] = x[j]
 			s.by[i] = y[j]
 		}
-		boots[ti] = nil // release while later trees still train
 		t := tree.New(tree.Config{
 			MaxDepth:    f.cfg.MaxDepth,
 			MinLeaf:     f.cfg.MinLeaf,
 			MaxFeatures: maxFeatures,
 			Seed:        seeds[ti],
+			Bins:        f.cfg.Bins,
+			Reference:   f.cfg.Reference,
 		})
-		if err := t.Fit(s.bx, s.by); err != nil {
+		var err error
+		if f.cfg.Reference {
+			err = t.Fit(s.bx, s.by)
+		} else {
+			s.eng = presort.NewBootstrapEngine(s.bx, boots[ti], s.eng)
+			err = t.FitEngine(s.eng, s.by)
+		}
+		boots[ti] = nil // release while later trees still train
+		if err != nil {
 			errs[ti] = err
 			return
 		}

@@ -1,9 +1,6 @@
 package knn
 
-import (
-	"container/heap"
-	"sort"
-)
+import "container/heap"
 
 // kdNode is one node of a kd-tree over standardized training points.
 type kdNode struct {
@@ -14,17 +11,17 @@ type kdNode struct {
 	right *kdNode
 }
 
-// buildKD constructs a kd-tree by median splits. idx is mutated.
+// buildKD constructs a kd-tree by median splits. idx is mutated. Each
+// level places the median by deterministic quickselect instead of a full
+// sort, so index build is O(n·log n) overall rather than O(n·log²n).
 func buildKD(points [][]float64, labels []bool, idx []int, depth int) *kdNode {
 	if len(idx) == 0 {
 		return nil
 	}
 	d := len(points[idx[0]])
 	axis := depth % d
-	sort.Slice(idx, func(a, b int) bool {
-		return points[idx[a]][axis] < points[idx[b]][axis]
-	})
 	mid := len(idx) / 2
+	selectMedian(points, idx, axis, mid)
 	n := &kdNode{
 		point: points[idx[mid]],
 		pos:   labels[idx[mid]],
@@ -33,6 +30,60 @@ func buildKD(points [][]float64, labels []bool, idx []int, depth int) *kdNode {
 	n.left = buildKD(points, labels, idx[:mid], depth+1)
 	n.right = buildKD(points, labels, idx[mid+1:], depth+1)
 	return n
+}
+
+// kdLess orders samples a, b by (value along axis, sample index) — a
+// strict total order, so selection is deterministic and terminates even
+// on all-equal coordinates.
+func kdLess(points [][]float64, axis, a, b int) bool {
+	va, vb := points[a][axis], points[b][axis]
+	if va != vb {
+		return va < vb
+	}
+	return a < b
+}
+
+// selectMedian partitions idx so idx[mid] holds the element of rank mid
+// under kdLess, with everything before it ranking lower and everything
+// after ranking higher — Hoare quickselect with a median-of-three pivot,
+// expected O(len(idx)) per call.
+func selectMedian(points [][]float64, idx []int, axis, mid int) {
+	lo, hi := 0, len(idx)-1
+	for lo < hi {
+		m := lo + (hi-lo)/2
+		if kdLess(points, axis, idx[m], idx[lo]) {
+			idx[m], idx[lo] = idx[lo], idx[m]
+		}
+		if kdLess(points, axis, idx[hi], idx[lo]) {
+			idx[hi], idx[lo] = idx[lo], idx[hi]
+		}
+		if kdLess(points, axis, idx[hi], idx[m]) {
+			idx[hi], idx[m] = idx[m], idx[hi]
+		}
+		pivot := idx[m]
+		i, j := lo, hi
+		for i <= j {
+			for kdLess(points, axis, idx[i], pivot) {
+				i++
+			}
+			for kdLess(points, axis, pivot, idx[j]) {
+				j--
+			}
+			if i <= j {
+				idx[i], idx[j] = idx[j], idx[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case mid <= j:
+			hi = j
+		case mid >= i:
+			lo = i
+		default:
+			return
+		}
+	}
 }
 
 // search walks the tree collecting the k nearest neighbours of q into h.

@@ -1,0 +1,83 @@
+package knn
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSelectMedianMatchesSort cross-checks quickselect against a full
+// sort under the same (value, index) total order, on random data and on
+// heavily tied data where naive pivoting degenerates.
+func TestSelectMedianMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gen := func(n int, distinct int) [][]float64 {
+		pts := make([][]float64, n)
+		for i := range pts {
+			v := rng.Float64()
+			if distinct > 0 {
+				v = float64(rng.Intn(distinct))
+			}
+			pts[i] = []float64{v}
+		}
+		return pts
+	}
+	for _, tc := range []struct{ n, distinct int }{
+		{1, 0}, {2, 0}, {17, 0}, {100, 0}, {257, 0},
+		{100, 1}, {100, 2}, {100, 5}, {64, 3},
+	} {
+		points := gen(tc.n, tc.distinct)
+		idx := make([]int, tc.n)
+		want := make([]int, tc.n)
+		for i := range idx {
+			idx[i] = i
+			want[i] = i
+		}
+		sort.Slice(want, func(a, b int) bool { return kdLess(points, 0, want[a], want[b]) })
+		mid := tc.n / 2
+		selectMedian(points, idx, 0, mid)
+		if idx[mid] != want[mid] {
+			t.Fatalf("n=%d distinct=%d: selected %d, sorted median %d",
+				tc.n, tc.distinct, idx[mid], want[mid])
+		}
+		for _, i := range idx[:mid] {
+			if kdLess(points, 0, idx[mid], i) {
+				t.Fatalf("n=%d distinct=%d: left element %d ranks above median", tc.n, tc.distinct, i)
+			}
+		}
+		for _, i := range idx[mid+1:] {
+			if kdLess(points, 0, i, idx[mid]) {
+				t.Fatalf("n=%d distinct=%d: right element %d ranks below median", tc.n, tc.distinct, i)
+			}
+		}
+	}
+}
+
+// TestKDTreeAgreesOnTiedCoordinates pins kd-vs-linear agreement on a grid
+// dataset where every axis value repeats many times — the case the
+// quickselect rewrite is most likely to disturb.
+func TestKDTreeAgreesOnTiedCoordinates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var x [][]float64
+	var y []bool
+	for i := 0; i < 300; i++ {
+		a := float64(rng.Intn(4))
+		b := float64(rng.Intn(4))
+		x = append(x, []float64{a, b})
+		y = append(y, a+b >= 4)
+	}
+	kd := New(Config{K: 5})
+	lin := New(Config{K: 5, LinearScan: true})
+	if err := kd.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := lin.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		q := []float64{rng.Float64() * 4, rng.Float64() * 4}
+		if kd.Predict(q) != lin.Predict(q) {
+			t.Fatalf("kd and linear disagree on %v", q)
+		}
+	}
+}

@@ -1,0 +1,409 @@
+// Package split implements the presorted-column split-finding engine
+// shared by the CART classifier tree (internal/ml/tree) and the
+// gradient-boosting regression tree (internal/ml/boost).
+//
+// A Presort sorts each feature of the training matrix exactly once —
+// O(d·n·log n) total, on concrete typed slices. Trees then grow from an
+// Engine view of that presort: every node's split scan is a single O(n)
+// cumulative pass per candidate feature over an already-sorted column,
+// and choosing a split stably partitions the column windows in place, so
+// no sorting happens below the root and no per-node allocations are made
+// (scratch buffers are reused down the recursion).
+//
+// Maintaining d partitioned columns stops paying once nodes shrink: below
+// LeafSortCutoff samples an Engine switches to gathering and sorting just
+// the scanned feature from the raw matrix (SortedCol/PartitionRows),
+// which is cache-hot and cheaper than touching every column. Both
+// regimes select identical splits, so the crossover is invisible to the
+// fitted model.
+//
+// One presort also serves every resample of its matrix: bootstrap and
+// subset views are derived from the pristine order by a stable O(d·n)
+// filter/expansion pass (NewBootstrapEngine, NewSubsetEngine), never by
+// re-sorting — this is what lets a 70-tree forest or a 100-round booster
+// sort its feature space once instead of once per tree.
+package split
+
+import "slices"
+
+// LeafSortCutoff is the node size at and below which trees stop
+// maintaining partitioned feature columns and instead gather + sort each
+// scanned feature directly (see package comment). Exported so the tree
+// growers and the property tests can exercise both regimes explicitly.
+const LeafSortCutoff = 96
+
+// Small reports whether a node of n samples is in the gather-and-sort
+// regime rather than the partitioned-column regime.
+func Small(n int) bool { return n <= LeafSortCutoff }
+
+// KV is a (feature value, row id) pair. All engine orderings sort
+// ascending by value with ties broken by ascending id, making every
+// ordering — and therefore every cumulative float sum a criterion
+// accumulates along it — deterministic.
+type KV struct {
+	V  float64
+	ID int32
+}
+
+func cmpKV(a, b KV) int {
+	switch {
+	case a.V < b.V:
+		return -1
+	case a.V > b.V:
+		return 1
+	case a.ID < b.ID:
+		return -1
+	case a.ID > b.ID:
+		return 1
+	}
+	return 0
+}
+
+// Presort holds each feature's sample order over a fixed matrix, sorted
+// once. It is immutable after construction and safe for concurrent use
+// by many Engines (one per worker/tree).
+type Presort struct {
+	n, d  int
+	order []int32   // flat d×n: feature f occupies [f*n, (f+1)*n)
+	vals  []float64 // aligned feature values
+}
+
+// NewPresort sorts every feature column of x. This is the only
+// O(d·n·log n) step of tree induction; everything after it is linear.
+func NewPresort(x [][]float64) *Presort {
+	n := len(x)
+	d := 0
+	if n > 0 {
+		d = len(x[0])
+	}
+	p := &Presort{
+		n:     n,
+		d:     d,
+		order: make([]int32, n*d),
+		vals:  make([]float64, n*d),
+	}
+	buf := make([]KV, n)
+	for f := 0; f < d; f++ {
+		for i, row := range x {
+			buf[i] = KV{V: row[f], ID: int32(i)}
+		}
+		slices.SortFunc(buf, cmpKV)
+		ord, vl := p.order[f*n:(f+1)*n], p.vals[f*n:(f+1)*n]
+		for i, kv := range buf {
+			ord[i], vl[i] = kv.ID, kv.V
+		}
+	}
+	return p
+}
+
+// Len returns the number of rows the presort covers.
+func (p *Presort) Len() int { return p.n }
+
+// Engine is one tree's mutable view of a presort: node-partitioned
+// feature columns plus a row arena. Obtain one from a Presort
+// constructor and reuse it across trees by passing it back as `reuse` —
+// all internal buffers are recycled.
+type Engine struct {
+	x        [][]float64 // row universe of this view, indexed by id
+	n, d     int
+	order    []int32   // flat d×n, node-partitioned
+	vals     []float64 // aligned values
+	rows     []int32   // node-partitioned row arena; ascending id per node
+	mark     []bool    // left/right marks and subset membership, by id
+	scratchI []int32
+	scratchV []float64
+	smallV   []float64 // SortedCol output buffers
+	smallI   []int32
+	kvBuf    []KV
+	edges    [][]float64 // binned candidate thresholds; nil = exact
+	head     []int32     // bootstrap expansion scratch
+	next     []int32
+}
+
+// engine resizes (or allocates) an Engine for an n-row view with ids
+// drawn from [0, idSpace).
+func (p *Presort) engine(x [][]float64, n, idSpace int, reuse *Engine) *Engine {
+	e := reuse
+	if e == nil {
+		e = &Engine{}
+	}
+	e.x = x
+	e.n, e.d = n, p.d
+	e.order = growI32(e.order, n*p.d)
+	e.vals = growF64(e.vals, n*p.d)
+	e.rows = growI32(e.rows, n)
+	e.scratchI = growI32(e.scratchI, n)
+	e.scratchV = growF64(e.scratchV, n)
+	small := n
+	if small > LeafSortCutoff {
+		small = LeafSortCutoff
+	}
+	e.smallV = growF64(e.smallV, small)
+	e.smallI = growI32(e.smallI, small)
+	if cap(e.kvBuf) < small {
+		e.kvBuf = make([]KV, small)
+	}
+	e.kvBuf = e.kvBuf[:small]
+	e.mark = growBool(e.mark, idSpace)
+	e.edges = nil
+	return e
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// NewEngine returns a view over the full presorted matrix (the
+// standalone-tree and full-sample boosting path). Reported ids are row
+// indices into x.
+func (p *Presort) NewEngine(x [][]float64, reuse *Engine) *Engine {
+	e := p.engine(x, p.n, p.n, reuse)
+	copy(e.order, p.order)
+	copy(e.vals, p.vals)
+	for i := range e.rows {
+		e.rows[i] = int32(i)
+	}
+	return e
+}
+
+// NewSubsetEngine returns a view restricted to the given distinct rows
+// (the boosting row-subsample path). Reported ids are row indices into
+// x. Columns are derived from the pristine sort by a stable filter pass
+// — O(d·n), no re-sort.
+func (p *Presort) NewSubsetEngine(x [][]float64, rows []int, reuse *Engine) *Engine {
+	e := p.engine(x, len(rows), p.n, reuse)
+	for i := range e.mark {
+		e.mark[i] = false
+	}
+	for _, r := range rows {
+		e.mark[r] = true
+	}
+	for f := 0; f < p.d; f++ {
+		src, sv := p.order[f*p.n:(f+1)*p.n], p.vals[f*p.n:(f+1)*p.n]
+		dst, dv := e.order[f*e.n:(f+1)*e.n], e.vals[f*e.n:(f+1)*e.n]
+		w := 0
+		for k, id := range src {
+			if e.mark[id] {
+				dst[w], dv[w] = id, sv[k]
+				w++
+			}
+		}
+	}
+	w := 0
+	for i := 0; i < p.n; i++ {
+		if e.mark[i] {
+			e.rows[w] = int32(i)
+			w++
+		}
+	}
+	return e
+}
+
+// NewBootstrapEngine returns a view over a bootstrap resample: boot[pos]
+// names the original row standing at position pos, and reported ids are
+// positions into boot (and into x, the resampled row view). Each
+// pristine column expands to the resample in one pass, duplicates
+// emitted in ascending position order — O(d·n), no re-sort.
+func (p *Presort) NewBootstrapEngine(x [][]float64, boot []int32, reuse *Engine) *Engine {
+	nb := len(boot)
+	idSpace := nb
+	if p.n > idSpace {
+		idSpace = p.n
+	}
+	e := p.engine(x, nb, idSpace, reuse)
+	// Per-original-row position lists, built ascending by prepending in
+	// reverse position order.
+	e.head = growI32(e.head, p.n)
+	e.next = growI32(e.next, nb)
+	for i := range e.head {
+		e.head[i] = -1
+	}
+	for pos := nb - 1; pos >= 0; pos-- {
+		r := boot[pos]
+		e.next[pos] = e.head[r]
+		e.head[r] = int32(pos)
+	}
+	for f := 0; f < p.d; f++ {
+		src, sv := p.order[f*p.n:(f+1)*p.n], p.vals[f*p.n:(f+1)*p.n]
+		dst, dv := e.order[f*nb:(f+1)*nb], e.vals[f*nb:(f+1)*nb]
+		w := 0
+		for k, id := range src {
+			v := sv[k]
+			for pos := e.head[id]; pos >= 0; pos = e.next[pos] {
+				dst[w], dv[w] = pos, v
+				w++
+			}
+		}
+	}
+	for i := range e.rows {
+		e.rows[i] = int32(i)
+	}
+	return e
+}
+
+// Len returns the number of rows in the view.
+func (e *Engine) Len() int { return e.n }
+
+// Features returns the feature dimensionality.
+func (e *Engine) Features() int { return e.d }
+
+// Col returns feature f's sorted (values, ids) over the node window
+// [lo, hi). Valid only while every ancestor partition since the root
+// used Partition (the large-node regime).
+func (e *Engine) Col(f, lo, hi int) ([]float64, []int32) {
+	base := f * e.n
+	return e.vals[base+lo : base+hi], e.order[base+lo : base+hi]
+}
+
+// Rows returns the node window's row ids in ascending order.
+func (e *Engine) Rows(lo, hi int) []int32 { return e.rows[lo:hi] }
+
+// Partition stably splits every feature column's [lo, hi) window (and
+// the row arena) into ids with x[id][feature] <= threshold followed by
+// the rest, preserving sorted order on both sides, and returns the
+// boundary index. Cost O(d·(hi-lo)), zero allocations.
+func (e *Engine) Partition(feature int, threshold float64, lo, hi int) int {
+	vals, ids := e.Col(feature, lo, hi)
+	nl := 0
+	for k, id := range ids {
+		goLeft := vals[k] <= threshold
+		e.mark[id] = goLeft
+		if goLeft {
+			nl++
+		}
+	}
+	for f := 0; f < e.d; f++ {
+		if f == feature {
+			continue // sorted column: the left side is already a prefix
+		}
+		base := f * e.n
+		stablePartition(e.vals[base+lo:base+hi], e.order[base+lo:base+hi], e.mark, e.scratchV, e.scratchI)
+	}
+	stableRows(e.rows[lo:hi], e.mark, e.scratchI)
+	return lo + nl
+}
+
+// PartitionRows is the small-node variant: only the row arena is
+// partitioned (columns go stale below the cutoff and are never read
+// again). Cost O(hi-lo).
+func (e *Engine) PartitionRows(feature int, threshold float64, lo, hi int) int {
+	rows := e.rows[lo:hi]
+	si := e.scratchI
+	w, r := 0, 0
+	for _, id := range rows {
+		if e.x[id][feature] <= threshold {
+			rows[w] = id
+			w++
+		} else {
+			si[r] = id
+			r++
+		}
+	}
+	copy(rows[w:], si[:r])
+	return lo + w
+}
+
+func stablePartition(vals []float64, ids []int32, mark []bool, sv []float64, si []int32) {
+	w, r := 0, 0
+	for k, id := range ids {
+		if mark[id] {
+			vals[w], ids[w] = vals[k], id
+			w++
+		} else {
+			sv[r], si[r] = vals[k], id
+			r++
+		}
+	}
+	copy(vals[w:], sv[:r])
+	copy(ids[w:], si[:r])
+}
+
+func stableRows(rows []int32, mark []bool, si []int32) {
+	w, r := 0, 0
+	for _, id := range rows {
+		if mark[id] {
+			rows[w] = id
+			w++
+		} else {
+			si[r] = id
+			r++
+		}
+	}
+	copy(rows[w:], si[:r])
+}
+
+// SortedCol gathers feature f over the node's rows from the raw matrix
+// and sorts it by (value, id) into reusable buffers — the small-node
+// scan path. The returned slices are overwritten by the next call.
+func (e *Engine) SortedCol(f, lo, hi int) ([]float64, []int32) {
+	rows := e.rows[lo:hi]
+	buf := e.kvBuf[:len(rows)]
+	for k, id := range rows {
+		buf[k] = KV{V: e.x[id][f], ID: id}
+	}
+	slices.SortFunc(buf, cmpKV)
+	vals, ids := e.smallV[:len(buf)], e.smallI[:len(buf)]
+	for k, kv := range buf {
+		vals[k], ids[k] = kv.V, kv.ID
+	}
+	return vals, ids
+}
+
+// SetBins switches the engine to histogram-binned split finding:
+// candidate thresholds are capped at bins-1 per-feature quantile edges
+// computed from the root columns, instead of every distinct value.
+// Splits are no longer guaranteed identical to the exact scan; nodes in
+// the small regime always scan exactly (candidate pruning no longer pays
+// there). bins <= 1 keeps the exact scan.
+func (e *Engine) SetBins(bins int) {
+	if bins <= 1 || e.n == 0 {
+		e.edges = nil
+		return
+	}
+	e.edges = make([][]float64, e.d)
+	for f := 0; f < e.d; f++ {
+		vals, _ := e.Col(f, 0, e.n)
+		var edges []float64
+		for b := 1; b < bins; b++ {
+			k := b * e.n / bins
+			if k <= 0 || k >= e.n {
+				continue
+			}
+			lov, hiv := vals[k-1], vals[k]
+			if lov == hiv {
+				continue
+			}
+			thr := (lov + hiv) / 2
+			if len(edges) == 0 || edges[len(edges)-1] != thr {
+				edges = append(edges, thr)
+			}
+		}
+		e.edges[f] = edges
+	}
+}
+
+// Edges returns feature f's binned candidate thresholds, or nil in exact
+// mode.
+func (e *Engine) Edges(f int) []float64 {
+	if e.edges == nil {
+		return nil
+	}
+	return e.edges[f]
+}

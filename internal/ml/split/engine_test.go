@@ -1,0 +1,241 @@
+package split
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randMatrix(rng *rand.Rand, n, d, distinct int) [][]float64 {
+	x := make([][]float64, n)
+	for i := range x {
+		row := make([]float64, d)
+		for j := range row {
+			if distinct > 0 {
+				row[j] = float64(rng.Intn(distinct))
+			} else {
+				row[j] = rng.NormFloat64()
+			}
+		}
+		x[i] = row
+	}
+	return x
+}
+
+// checkSorted verifies a column window is sorted by (value, id).
+func checkSorted(t *testing.T, vals []float64, ids []int32) {
+	t.Helper()
+	for k := 1; k < len(vals); k++ {
+		if vals[k] < vals[k-1] || (vals[k] == vals[k-1] && ids[k] < ids[k-1]) {
+			t.Fatalf("column not (value, id)-sorted at %d: (%v,%d) after (%v,%d)",
+				k, vals[k], ids[k], vals[k-1], ids[k-1])
+		}
+	}
+}
+
+func TestPresortColumnsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, distinct := range []int{0, 1, 3} {
+		x := randMatrix(rng, 50, 4, distinct)
+		e := NewPresort(x).NewEngine(x, nil)
+		for f := 0; f < 4; f++ {
+			vals, ids := e.Col(f, 0, e.Len())
+			checkSorted(t, vals, ids)
+			for k, id := range ids {
+				if x[id][f] != vals[k] {
+					t.Fatalf("distinct=%d f=%d: vals misaligned with ids", distinct, f)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randMatrix(rng, 200, 5, 6) // heavy ties
+	e := NewPresort(x).NewEngine(x, nil)
+
+	vals, _ := e.Col(2, 0, e.Len())
+	thr := (vals[60] + vals[140]) / 2 // some interior threshold
+	mid := e.Partition(2, thr, 0, e.Len())
+
+	wantLeft := 0
+	for _, row := range x {
+		if row[2] <= thr {
+			wantLeft++
+		}
+	}
+	if mid != wantLeft {
+		t.Fatalf("mid = %d, want %d", mid, wantLeft)
+	}
+	for f := 0; f < 5; f++ {
+		lv, li := e.Col(f, 0, mid)
+		rv, ri := e.Col(f, mid, e.Len())
+		checkSorted(t, lv, li)
+		checkSorted(t, rv, ri)
+		for _, id := range li {
+			if x[id][2] > thr {
+				t.Fatalf("f=%d: right-side row %d in left window", f, id)
+			}
+		}
+		for _, id := range ri {
+			if x[id][2] <= thr {
+				t.Fatalf("f=%d: left-side row %d in right window", f, id)
+			}
+		}
+	}
+	rows := e.Rows(0, mid)
+	for k := 1; k < len(rows); k++ {
+		if rows[k] <= rows[k-1] {
+			t.Fatal("row arena not ascending within left node")
+		}
+	}
+	// Recursive partition of the left child keeps the invariants.
+	lv, _ := e.Col(0, 0, mid)
+	if len(lv) > 2 && lv[0] != lv[len(lv)-1] {
+		thr2 := (lv[0] + lv[len(lv)-1]) / 2
+		mid2 := e.Partition(0, thr2, 0, mid)
+		for f := 0; f < 5; f++ {
+			v1, i1 := e.Col(f, 0, mid2)
+			v2, i2 := e.Col(f, mid2, mid)
+			checkSorted(t, v1, i1)
+			checkSorted(t, v2, i2)
+		}
+	}
+}
+
+func TestPartitionRowsMatchesPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randMatrix(rng, 80, 3, 4)
+	p := NewPresort(x)
+	a := p.NewEngine(x, nil)
+	b := p.NewEngine(x, nil)
+	thr := 1.5
+	ma := a.Partition(1, thr, 0, 80)
+	mb := b.PartitionRows(1, thr, 0, 80)
+	if ma != mb {
+		t.Fatalf("Partition mid %d != PartitionRows mid %d", ma, mb)
+	}
+	ra, rb := a.Rows(0, 80), b.Rows(0, 80)
+	for k := range ra {
+		if ra[k] != rb[k] {
+			t.Fatalf("row arenas diverge at %d: %d vs %d", k, ra[k], rb[k])
+		}
+	}
+}
+
+func TestSortedColMatchesCol(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := randMatrix(rng, LeafSortCutoff, 3, 5)
+	p := NewPresort(x)
+	e := p.NewEngine(x, nil)
+	for f := 0; f < 3; f++ {
+		cv, ci := e.Col(f, 0, e.Len())
+		sv, si := e.SortedCol(f, 0, e.Len())
+		for k := range cv {
+			if cv[k] != sv[k] || ci[k] != si[k] {
+				t.Fatalf("f=%d k=%d: SortedCol (%v,%d) != Col (%v,%d)", f, k, sv[k], si[k], cv[k], ci[k])
+			}
+		}
+	}
+}
+
+func TestSubsetEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := randMatrix(rng, 100, 4, 7)
+	p := NewPresort(x)
+	// Membership is given unordered on purpose; the engine must emit rows
+	// in ascending id order regardless.
+	e := p.NewSubsetEngine(x, []int{3, 17, 42, 99, 0, 51}, nil)
+	if e.Len() != 6 {
+		t.Fatalf("subset len %d", e.Len())
+	}
+	want := []int32{0, 3, 17, 42, 51, 99}
+	got := e.Rows(0, 6)
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("subset rows %v, want %v", got, want)
+		}
+	}
+	for f := 0; f < 4; f++ {
+		vals, ids := e.Col(f, 0, 6)
+		checkSorted(t, vals, ids)
+		for k, id := range ids {
+			if x[id][f] != vals[k] {
+				t.Fatalf("subset f=%d: misaligned", f)
+			}
+		}
+	}
+}
+
+func TestBootstrapEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := randMatrix(rng, 60, 3, 4)
+	p := NewPresort(x)
+	boot := make([]int32, 60)
+	bx := make([][]float64, 60)
+	for i := range boot {
+		boot[i] = int32(rng.Intn(60))
+		bx[i] = x[boot[i]]
+	}
+	e := p.NewBootstrapEngine(bx, boot, nil)
+	for f := 0; f < 3; f++ {
+		vals, ids := e.Col(f, 0, e.Len())
+		// Values must equal an independent sort of the resampled column.
+		want := make([]float64, 60)
+		for i, r := range boot {
+			want[i] = x[r][f]
+		}
+		sort.Float64s(want)
+		for k := range vals {
+			if vals[k] != want[k] {
+				t.Fatalf("f=%d k=%d: bootstrap column %v, want %v", f, k, vals[k], want[k])
+			}
+			if bx[ids[k]][f] != vals[k] {
+				t.Fatalf("f=%d: position id misaligned", f)
+			}
+		}
+	}
+}
+
+func TestEngineReuseResets(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := randMatrix(rng, 120, 3, 0)
+	p := NewPresort(x)
+	e := p.NewEngine(x, nil)
+	e.SetBins(4)
+	e.Partition(0, 0, 0, 120)
+	e = p.NewEngine(x, e) // reuse must restore pristine order and drop bins
+	if e.Edges(0) != nil {
+		t.Fatal("reused engine kept stale bin edges")
+	}
+	for f := 0; f < 3; f++ {
+		vals, ids := e.Col(f, 0, 120)
+		checkSorted(t, vals, ids)
+	}
+}
+
+func TestSetBinsEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x := randMatrix(rng, 500, 2, 0)
+	e := NewPresort(x).NewEngine(x, nil)
+	e.SetBins(8)
+	for f := 0; f < 2; f++ {
+		edges := e.Edges(f)
+		if len(edges) == 0 || len(edges) > 7 {
+			t.Fatalf("f=%d: %d edges for 8 bins", f, len(edges))
+		}
+		for k := 1; k < len(edges); k++ {
+			if edges[k] <= edges[k-1] {
+				t.Fatalf("f=%d: edges not strictly increasing", f)
+			}
+		}
+	}
+	// All-equal column: no admissible edges.
+	xe := randMatrix(rng, 50, 1, 1)
+	ee := NewPresort(xe).NewEngine(xe, nil)
+	ee.SetBins(8)
+	if len(ee.Edges(0)) != 0 {
+		t.Fatal("constant column produced bin edges")
+	}
+}

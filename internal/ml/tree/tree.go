@@ -1,19 +1,31 @@
 // Package tree implements a CART-style binary decision tree classifier
 // with Gini-impurity splits — the paper's DT baseline and the base learner
 // of the random forest.
+//
+// Split finding runs on the presorted-column engine (internal/ml/split):
+// each feature is sorted once per fit and nodes grow by stable in-place
+// partitioning, so a node's scan is one O(n) cumulative-class-count pass
+// per candidate feature and nothing is sorted below the root. The legacy
+// per-node sort.Slice scan survives behind Config.Reference as the
+// cross-check oracle and benchmark baseline; in exact mode both select
+// bit-identical (feature, threshold) splits.
 package tree
 
 import (
 	"errors"
 	"math/rand"
-	"sort"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/split"
 )
 
 // Config holds decision-tree hyperparameters.
 type Config struct {
 	// MaxDepth bounds tree depth; non-positive means unbounded.
 	MaxDepth int
-	// MinLeaf is the minimum samples per leaf (default 1).
+	// MinLeaf is the minimum samples per leaf (default 1). The split
+	// scan skips candidate thresholds that would violate it, so the
+	// best admissible split is taken rather than collapsing to a leaf
+	// when the unconstrained best happens to violate it.
 	MinLeaf int
 	// MaxFeatures is the number of random features considered per split;
 	// non-positive means all features (plain CART). The random forest
@@ -21,13 +33,25 @@ type Config struct {
 	MaxFeatures int
 	// Seed drives the per-split feature sampling when MaxFeatures is set.
 	Seed int64
+	// Bins enables histogram-binned split finding: candidate thresholds
+	// are capped at Bins-1 per-feature quantile edges computed once per
+	// fit — for large synthetic-world datasets. Non-positive (or 1)
+	// keeps the exact scan, whose splits are bit-identical to the
+	// legacy implementation.
+	Bins int
+	// Reference selects the legacy per-node sort.Slice split scan, kept
+	// as the oracle for the property suite and the baseline for
+	// BENCH_ml.json speedups. Exact-mode models are identical either
+	// way; only the training cost differs.
+	Reference bool
 }
 
 // Tree is a trained decision tree.
 type Tree struct {
-	cfg  Config
-	rng  *rand.Rand
-	root *node
+	cfg   Config
+	rng   *rand.Rand
+	root  *node
+	feats []int // candidate-feature scratch reused across splits
 }
 
 type node struct {
@@ -55,11 +79,28 @@ func (t *Tree) Fit(x [][]float64, y []bool) error {
 	if len(x) == 0 || len(x) != len(y) {
 		return errors.New("tree: empty or mismatched training data")
 	}
-	idx := make([]int, len(x))
-	for i := range idx {
-		idx[i] = i
+	if t.cfg.Reference {
+		idx := make([]int, len(x))
+		for i := range idx {
+			idx[i] = i
+		}
+		t.root = t.growRef(x, y, idx, 0)
+		return nil
 	}
-	t.root = t.grow(x, y, idx, 0)
+	return t.FitEngine(split.NewPresort(x).NewEngine(x, nil), y)
+}
+
+// FitEngine grows the tree over a prepared engine view — the forest
+// path, which shares one presort across every tree's bootstrap view. y
+// must be indexed by the engine's row ids.
+func (t *Tree) FitEngine(e *split.Engine, y []bool) error {
+	if e.Len() == 0 {
+		return errors.New("tree: empty training data")
+	}
+	if t.cfg.Bins > 1 {
+		e.SetBins(t.cfg.Bins)
+	}
+	t.root = t.grow(e, y, 0, e.Len(), 0)
 	return nil
 }
 
@@ -95,109 +136,83 @@ func (t *Tree) Depth() int {
 	return depth(t.root)
 }
 
-func (t *Tree) grow(x [][]float64, y []bool, idx []int, depth int) *node {
+func (t *Tree) grow(e *split.Engine, y []bool, lo, hi, depth int) *node {
+	n := hi - lo
 	pos := 0
-	for _, i := range idx {
-		if y[i] {
+	for _, id := range e.Rows(lo, hi) {
+		if y[id] {
 			pos++
 		}
 	}
-	majority := pos*2 >= len(idx)
-	if pos == 0 || pos == len(idx) ||
+	majority := pos*2 >= n
+	if pos == 0 || pos == n ||
 		(t.cfg.MaxDepth > 0 && depth >= t.cfg.MaxDepth) ||
-		len(idx) < 2*t.cfg.MinLeaf {
+		n < 2*t.cfg.MinLeaf {
 		return &node{leaf: true, label: majority}
 	}
 
-	feature, threshold, childGini, ok := t.bestSplit(x, y, idx)
+	feature, threshold, childGini, ok := t.bestSplit(e, y, lo, hi, pos)
 	if !ok {
 		return &node{leaf: true, label: majority}
 	}
-	var left, right []int
-	for _, i := range idx {
-		if x[i][feature] <= threshold {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
+	var mid int
+	if split.Small(n) {
+		mid = e.PartitionRows(feature, threshold, lo, hi)
+	} else {
+		mid = e.Partition(feature, threshold, lo, hi)
 	}
-	if len(left) < t.cfg.MinLeaf || len(right) < t.cfg.MinLeaf {
-		return &node{leaf: true, label: majority}
-	}
-	parentGini := giniOf(len(idx), pos)
-	return &node{
+	parentGini := giniOf(n, pos)
+	nd := &node{
 		feature:   feature,
 		threshold: threshold,
-		gain:      (parentGini - childGini) * float64(len(idx)),
-		left:      t.grow(x, y, left, depth+1),
-		right:     t.grow(x, y, right, depth+1),
+		gain:      (parentGini - childGini) * float64(n),
 	}
+	nd.left = t.grow(e, y, lo, mid, depth+1)
+	nd.right = t.grow(e, y, mid, hi, depth+1)
+	return nd
 }
 
 // bestSplit finds the (feature, threshold) minimizing weighted Gini
 // impurity over the candidate features. Following standard random-forest
 // practice, if the sampled feature subset yields no valid split the search
 // widens to all features before giving up.
-func (t *Tree) bestSplit(x [][]float64, y []bool, idx []int) (int, float64, float64, bool) {
-	d := len(x[0])
-	if f, thr, g, ok := t.bestSplitOver(x, y, idx, t.candidateFeatures(d)); ok {
+func (t *Tree) bestSplit(e *split.Engine, y []bool, lo, hi, totalPos int) (int, float64, float64, bool) {
+	d := e.Features()
+	if f, thr, g, ok := t.bestSplitOver(e, y, lo, hi, totalPos, t.candidateFeatures(d)); ok {
 		return f, thr, g, true
 	}
 	if t.cfg.MaxFeatures <= 0 || t.cfg.MaxFeatures >= d {
 		return 0, 0, 0, false // already searched everything
 	}
-	all := make([]int, d)
-	for i := range all {
-		all[i] = i
-	}
-	return t.bestSplitOver(x, y, idx, all)
+	return t.bestSplitOver(e, y, lo, hi, totalPos, t.allFeatures(d))
 }
 
 // bestSplitOver searches the given features for the best Gini split,
 // returning the feature, threshold, and resulting weighted child impurity.
-func (t *Tree) bestSplitOver(x [][]float64, y []bool, idx []int, features []int) (int, float64, float64, bool) {
-
+// Features are scanned in order with strict improvement, so ties keep the
+// earliest feature and, within a feature, the lowest threshold — the same
+// selection the legacy scan made.
+func (t *Tree) bestSplitOver(e *split.Engine, y []bool, lo, hi, totalPos int, features []int) (int, float64, float64, bool) {
 	bestGini := 2.0
 	bestFeature, bestThreshold := -1, 0.0
-
-	// Scratch reused across features.
-	type pair struct {
-		v   float64
-		pos bool
-	}
-	pairs := make([]pair, len(idx))
-
-	total := len(idx)
-	totalPos := 0
-	for _, i := range idx {
-		if y[i] {
-			totalPos++
-		}
-	}
-
+	small := split.Small(hi - lo)
 	for _, f := range features {
-		for k, i := range idx {
-			pairs[k] = pair{v: x[i][f], pos: y[i]}
+		var thr, g float64
+		var ok bool
+		if small {
+			vals, ids := e.SortedCol(f, lo, hi)
+			thr, g, ok = t.scanCol(vals, ids, y, totalPos)
+		} else if edges := e.Edges(f); edges != nil {
+			vals, ids := e.Col(f, lo, hi)
+			thr, g, ok = t.scanBinned(vals, ids, edges, y, totalPos)
+		} else {
+			vals, ids := e.Col(f, lo, hi)
+			thr, g, ok = t.scanCol(vals, ids, y, totalPos)
 		}
-		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
-
-		leftN, leftPos := 0, 0
-		for k := 0; k < total-1; k++ {
-			leftN++
-			if pairs[k].pos {
-				leftPos++
-			}
-			if pairs[k].v == pairs[k+1].v {
-				continue // threshold must separate distinct values
-			}
-			rightN := total - leftN
-			rightPos := totalPos - leftPos
-			gini := weightedGini(leftN, leftPos, rightN, rightPos)
-			if gini < bestGini {
-				bestGini = gini
-				bestFeature = f
-				bestThreshold = (pairs[k].v + pairs[k+1].v) / 2
-			}
+		if ok && g < bestGini {
+			bestGini = g
+			bestFeature = f
+			bestThreshold = thr
 		}
 	}
 	if bestFeature < 0 {
@@ -206,25 +221,100 @@ func (t *Tree) bestSplitOver(x [][]float64, y []bool, idx []int, features []int)
 	return bestFeature, bestThreshold, bestGini, true
 }
 
+// scanCol finds one sorted column's best admissible threshold: a single
+// cumulative-class-count pass, evaluating Gini only between distinct
+// values and skipping candidates that would leave a child under MinLeaf.
+func (t *Tree) scanCol(vals []float64, ids []int32, y []bool, totalPos int) (float64, float64, bool) {
+	total := len(vals)
+	minLeaf := t.cfg.MinLeaf
+	best, thr, found := 2.0, 0.0, false
+	leftN, leftPos := 0, 0
+	for k := 0; k < total-1; k++ {
+		leftN++
+		if y[ids[k]] {
+			leftPos++
+		}
+		if vals[k] == vals[k+1] {
+			continue // threshold must separate distinct values
+		}
+		if leftN < minLeaf {
+			continue
+		}
+		rightN := total - leftN
+		if rightN < minLeaf {
+			break // leftN only grows from here
+		}
+		g := weightedGini(leftN, leftPos, rightN, totalPos-leftPos)
+		if g < best {
+			best, thr, found = g, (vals[k]+vals[k+1])/2, true
+		}
+	}
+	return thr, best, found
+}
+
+// scanBinned evaluates only the precomputed quantile edges: the same
+// cumulative pass, with Gini computed at most once per bin boundary.
+func (t *Tree) scanBinned(vals []float64, ids []int32, edges []float64, y []bool, totalPos int) (float64, float64, bool) {
+	total := len(vals)
+	minLeaf := t.cfg.MinLeaf
+	best, thr, found := 2.0, 0.0, false
+	leftN, leftPos := 0, 0
+	k := 0
+	for _, edge := range edges {
+		for k < total && vals[k] <= edge {
+			leftN++
+			if y[ids[k]] {
+				leftPos++
+			}
+			k++
+		}
+		if leftN == 0 {
+			continue
+		}
+		if leftN >= total {
+			break
+		}
+		if leftN < minLeaf {
+			continue
+		}
+		rightN := total - leftN
+		if rightN < minLeaf {
+			break
+		}
+		g := weightedGini(leftN, leftPos, rightN, totalPos-leftPos)
+		if g < best {
+			best, thr, found = g, edge, true
+		}
+	}
+	return thr, best, found
+}
+
 // candidateFeatures returns the feature indices to consider for a split.
 func (t *Tree) candidateFeatures(d int) []int {
 	if t.cfg.MaxFeatures <= 0 || t.cfg.MaxFeatures >= d {
-		all := make([]int, d)
-		for i := range all {
-			all[i] = i
-		}
-		return all
+		return t.allFeatures(d)
 	}
 	// Partial Fisher–Yates over [0, d).
-	perm := make([]int, d)
-	for i := range perm {
-		perm[i] = i
-	}
+	perm := t.featureBuf(d)
 	for i := 0; i < t.cfg.MaxFeatures; i++ {
 		j := i + t.rng.Intn(d-i)
 		perm[i], perm[j] = perm[j], perm[i]
 	}
 	return perm[:t.cfg.MaxFeatures]
+}
+
+func (t *Tree) allFeatures(d int) []int { return t.featureBuf(d) }
+
+// featureBuf returns the reusable [0, d) identity permutation.
+func (t *Tree) featureBuf(d int) []int {
+	if cap(t.feats) < d {
+		t.feats = make([]int, d)
+	}
+	t.feats = t.feats[:d]
+	for i := range t.feats {
+		t.feats[i] = i
+	}
+	return t.feats
 }
 
 func weightedGini(leftN, leftPos, rightN, rightPos int) float64 {

@@ -133,6 +133,33 @@ func TestTreeIdenticalFeatureValues(t *testing.T) {
 	}
 }
 
+// TestTreeMinLeafGuardInScan verifies the guard lives inside the split
+// scan: when the unconstrained best split would isolate a single sample,
+// the tree must take the best admissible split instead of collapsing to
+// a leaf (the pre-guard behavior).
+func TestTreeMinLeafGuardInScan(t *testing.T) {
+	// One positive at x=0; the unconstrained best split (thr 0.5) makes a
+	// pure single-sample leaf, which MinLeaf=2 forbids. The guarded scan
+	// must fall back to thr 1.5, whose 2-sample left leaf votes positive.
+	x := [][]float64{{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}, {9}}
+	y := []bool{true, false, false, false, false, false, false, false, false, false}
+	for _, reference := range []bool{false, true} {
+		tr := New(Config{MinLeaf: 2, Reference: reference})
+		if err := tr.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Depth() != 1 {
+			t.Fatalf("reference=%v: depth %d, want 1 admissible split", reference, tr.Depth())
+		}
+		if !tr.Predict([]float64{0}) {
+			t.Fatalf("reference=%v: guarded split lost the positive leaf", reference)
+		}
+		if tr.Predict([]float64{9}) {
+			t.Fatalf("reference=%v: right leaf mislabeled", reference)
+		}
+	}
+}
+
 func TestTreeMinLeaf(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	x, y := xorData(200, rng)
