@@ -11,13 +11,15 @@ RACE_PKGS := ./internal/parallel/ \
 	./internal/core/ \
 	./internal/imagehash/ \
 	./internal/metrics/ \
+	./internal/trace/ \
 	./internal/twitterapi/
 
 METRICS_COVER_MIN := 90
+TRACE_COVER_MIN := 90
 
-.PHONY: check vet build test race bench cover-metrics
+.PHONY: check vet build test race bench cover-metrics cover-trace
 
-check: vet build test race cover-metrics
+check: vet build test race cover-metrics cover-trace
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +43,17 @@ cover-metrics:
 		if ($$3 + 0 < min) { printf "FAIL: internal/metrics coverage %s%% < %d%% gate\n", $$3, min; exit 1 } \
 		else printf "internal/metrics coverage %s%% (gate %d%%)\n", $$3, min }'
 	@rm -f .metrics.cover
+
+# cover-trace gates internal/trace at >= $(TRACE_COVER_MIN)% statement
+# coverage: the span tracer is woven through every pipeline stage, so a
+# regression there silently corrupts latency attribution everywhere.
+cover-trace:
+	@$(GO) test -coverprofile=.trace.cover ./internal/trace/ > /dev/null
+	@$(GO) tool cover -func=.trace.cover | awk -v min=$(TRACE_COVER_MIN) \
+		'/^total:/ { gsub(/%/, "", $$3); \
+		if ($$3 + 0 < min) { printf "FAIL: internal/trace coverage %s%% < %d%% gate\n", $$3, min; exit 1 } \
+		else printf "internal/trace coverage %s%% (gate %d%%)\n", $$3, min }'
+	@rm -f .trace.cover
 
 # bench runs the ML training and parallel-layer benchmarks, then
 # regenerates the committed BENCH_ml.json baseline via cmd/benchreport.

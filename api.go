@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/core"
@@ -12,6 +13,7 @@ import (
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/label"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/twitterapi"
 )
 
@@ -57,7 +59,15 @@ type (
 	// OnlineDetector retrains on a sliding window of labeled captures,
 	// the paper's §IV-C answer to the Twitter spammer-drift problem.
 	OnlineDetector = core.OnlineDetector
+	// Tracer records per-capture pipeline traces (DESIGN.md §11).
+	Tracer = trace.Tracer
+	// TraceConfig parameterizes a Tracer.
+	TraceConfig = trace.Config
 )
+
+// NewTracer creates a pipeline tracer; pass it through SnifferConfig.Tracer
+// and mount its Handler at /debug/traces.
+func NewTracer(cfg TraceConfig) *Tracer { return trace.New(cfg) }
 
 // NewOnlineDetector creates a drift-aware detector of the named family
 // with the given sliding-window size and retraining cadence.
@@ -142,6 +152,9 @@ type SnifferConfig struct {
 	// (Active-status screening and ratio hygiene). The paper's
 	// "non pseudo-honeypot" baseline selects accounts naively.
 	NaiveSelection bool
+	// Tracer records per-capture pipeline traces through every stage;
+	// nil uses the process-wide trace.Default() (disabled by default).
+	Tracer *Tracer
 }
 
 // Sniffer is the end-to-end pseudo-honeypot pipeline bound to a
@@ -173,6 +186,7 @@ func NewSniffer(sim *Simulation, cfg SnifferConfig) (*Sniffer, error) {
 		Specs:      cfg.Specs,
 		ActiveOnly: true,
 		Seed:       cfg.Seed,
+		Tracer:     cfg.Tracer,
 	}
 	if cfg.NaiveSelection {
 		mcfg.ActiveOnly = false
@@ -220,15 +234,19 @@ func (s *Sniffer) DetectAll() (*DetectionResult, error) {
 		tweets[i] = c.Tweet
 	}
 	corpus := label.NewCorpus(tweets, s.sim.world.Account)
-	pipeline := label.NewPipeline(label.DefaultConfig())
+	lcfg := label.DefaultConfig()
+	lcfg.Tracer = s.cfg.Tracer
+	pipeline := label.NewPipeline(lcfg)
 	oracle := label.NewNoisyOracle(s.sim.world, s.cfg.ManualLabelErrorRate, s.cfg.Seed+2)
 	labels := pipeline.Run(corpus, oracle)
+	adoptLabelSpans(pipeline.LastTrace(), captures)
 
 	clf, err := core.NewClassifier(s.cfg.Classifier, s.cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
 	det := core.NewDetector(clf)
+	det.SetTracer(s.cfg.Tracer)
 	if err := det.Train(captures, labels); err != nil {
 		return nil, fmt.Errorf("train: %w", err)
 	}
@@ -249,6 +267,29 @@ func (s *Sniffer) DetectAll() (*DetectionResult, error) {
 	}
 	res.Spammers = len(spammers)
 	return res, nil
+}
+
+// adoptLabelSpans copies the labeling-pass spans of a batch label trace
+// into every capture trace that fed the corpus, so each capture's journey
+// shows the labeling work done on it. Adopted spans are marked with a
+// batch attribute carrying the label trace's id.
+func adoptLabelSpans(labelTrace *trace.Trace, captures []*core.Capture) {
+	if labelTrace == nil {
+		return
+	}
+	info := labelTrace.Snapshot()
+	batch := trace.KV{Key: "batch", Value: info.ID}
+	for _, c := range captures {
+		if c.Trace == nil {
+			continue
+		}
+		for _, sp := range info.Spans {
+			if !strings.HasPrefix(sp.Stage, "label_") {
+				continue // skip parallel_batch bookkeeping spans
+			}
+			c.Trace.AddSpan(sp.Stage, sp.Start, sp.End(), batch)
+		}
+	}
 }
 
 // NewExperiments creates a runner that regenerates the paper's tables and

@@ -9,11 +9,20 @@
 //	phsniffer [-hours 24] [-nodes-per-value 2] [-accounts 6000]
 //	          [-classifier RF] [-seed 1] [-top 10]
 //	          [-metrics-addr :9331] [-export run.json]
+//	          [-trace-buffer 256] [-slow-span 250ms] [-log-level info]
+//	          [-pprof]
 //
 // With -metrics-addr, the process serves its live metrics registry at
-// GET /metrics (Prometheus text) and GET /healthz while the run executes.
-// With -export, the result tables plus a final metrics snapshot are
-// written as JSON.
+// GET /metrics (Prometheus text), GET /healthz, and — when tracing is on —
+// the per-capture pipeline traces at GET /debug/traces while the run
+// executes; -pprof additionally mounts net/http/pprof. With -export, the
+// result tables plus a final metrics snapshot and the stage-latency trace
+// summary are written as JSON.
+//
+// Tracing is sized by -trace-buffer (0 disables it entirely; the pipeline
+// then pays one atomic load per capture). Spans at or above -slow-span log
+// a warn event through the structured logger, whose verbosity is
+// -log-level (debug, info, warn, error).
 //
 // With -server, phsniffer instead attaches to a running twitterd over HTTP:
 // nodes are screened through the REST search endpoint and monitored through
@@ -25,8 +34,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -35,32 +44,55 @@ import (
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/remote"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/report"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/twitterapi"
 )
 
+// logger is the process logger, reconfigured from -log-level in run.
+var logger = trace.NewLogger(os.Stderr, trace.LevelInfo)
+
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		logger.Error("run failed", "err", err)
+		os.Exit(1)
 	}
 }
 
 func run() error {
 	var (
-		hours      = flag.Int("hours", 24, "simulated hours to monitor")
-		perValue   = flag.Int("nodes-per-value", 2, "pseudo-honeypot nodes per attribute sample value (paper: 10)")
-		accounts   = flag.Int("accounts", 6000, "number of simulated accounts")
-		organic    = flag.Int("organic", 1200, "organic tweets per simulated hour")
-		classifier = flag.String("classifier", "RF", "detector family: DT, kNN, SVM, EGB, RF")
-		seed       = flag.Int64("seed", 1, "world and selection seed")
-		top        = flag.Int("top", 10, "PGE rows to print")
-		server     = flag.String("server", "", "twitterd base URL for remote monitoring (e.g. http://127.0.0.1:8331)")
-		metricsOn  = flag.String("metrics-addr", "", "serve GET /metrics and /healthz on this address during the run")
-		export     = flag.String("export", "", "write result tables plus a final metrics snapshot as JSON to this file")
+		hours       = flag.Int("hours", 24, "simulated hours to monitor")
+		perValue    = flag.Int("nodes-per-value", 2, "pseudo-honeypot nodes per attribute sample value (paper: 10)")
+		accounts    = flag.Int("accounts", 6000, "number of simulated accounts")
+		organic     = flag.Int("organic", 1200, "organic tweets per simulated hour")
+		classifier  = flag.String("classifier", "RF", "detector family: DT, kNN, SVM, EGB, RF")
+		seed        = flag.Int64("seed", 1, "world and selection seed")
+		top         = flag.Int("top", 10, "PGE rows to print")
+		server      = flag.String("server", "", "twitterd base URL for remote monitoring (e.g. http://127.0.0.1:8331)")
+		metricsOn   = flag.String("metrics-addr", "", "serve GET /metrics, /healthz and /debug/traces on this address during the run")
+		export      = flag.String("export", "", "write result tables plus metrics snapshot and trace summary as JSON to this file")
+		traceBuffer = flag.Int("trace-buffer", 256, "per-capture pipeline traces to retain (0 disables tracing)")
+		slowSpan    = flag.Duration("slow-span", 250*time.Millisecond, "log a warn event for spans at least this long (0 disables)")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof on the metrics address")
 	)
 	flag.Parse()
 
+	level, err := trace.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger.SetLevel(level)
+	tracer := trace.Default()
+	tracer.Configure(trace.Config{
+		Enabled:  *traceBuffer > 0,
+		Buffer:   *traceBuffer,
+		SlowSpan: *slowSpan,
+		Logger:   logger,
+		Observer: metrics.Default().SpanObserver(),
+	})
+
 	if *metricsOn != "" {
-		go serveMetrics(*metricsOn)
+		go serveMetrics(*metricsOn, tracer, *pprofOn)
 	}
 
 	if *server != "" {
@@ -90,8 +122,9 @@ func run() error {
 	for _, s := range specs {
 		nodes += s.Nodes
 	}
-	fmt.Printf("phsniffer: %d-node pseudo-honeypot network over %d accounts, %d hours\n",
-		nodes, *accounts, *hours)
+	logger.Info("pseudo-honeypot network deployed",
+		"nodes", nodes, "accounts", *accounts, "hours", *hours,
+		"classifier", *classifier, "tracing", tracer.Enabled())
 
 	sim.RunHours(*hours)
 	res, err := sniffer.DetectAll()
@@ -99,10 +132,11 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("\ncollected %d tweets; classified %d spams from %d spammers\n",
-		res.Captures, res.Spams, res.Spammers)
-	fmt.Printf("ground truth: %d labeled spams, %d labeled spammers (%d manual checks)\n\n",
-		res.Labels.TotalSpams(), res.Labels.TotalSpammers(), res.Labels.ManualChecks)
+	logger.Info("detection complete",
+		"captures", res.Captures, "spams", res.Spams, "spammers", res.Spammers)
+	logger.Info("ground truth labeled",
+		"spams", res.Labels.TotalSpams(), "spammers", res.Labels.TotalSpammers(),
+		"manual_checks", res.Labels.ManualChecks)
 
 	tbl := &report.Table{
 		Title:   "Top attributes by garner efficiency (PGE)",
@@ -119,19 +153,30 @@ func run() error {
 }
 
 // serveMetrics exposes the process-default registry — which every pipeline
-// component reports into — over HTTP for the duration of the run.
-func serveMetrics(addr string) {
+// component reports into — plus the trace ring and (opt-in) pprof over
+// HTTP for the duration of the run.
+func serveMetrics(addr string, tracer *trace.Tracer, pprofOn bool) {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", metrics.Default().Handler())
 	mux.Handle("GET /healthz", metrics.HealthHandler())
+	mux.Handle("GET /debug/traces", tracer.Handler())
+	mux.Handle("GET /debug/traces/{id}", tracer.Handler())
+	if pprofOn {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	if err := srv.ListenAndServe(); err != nil {
-		log.Printf("phsniffer: metrics server: %v", err)
+		logger.Error("metrics server stopped", "addr", addr, "err", err)
 	}
 }
 
 // writeExport archives the result tables with a final snapshot of the
-// process-default registry. An empty path is a no-op.
+// process-default registry and the tracer's stage-latency summary. An
+// empty path is a no-op.
 func writeExport(path string, tables []*report.Table) error {
 	if path == "" {
 		return nil
@@ -140,7 +185,8 @@ func writeExport(path string, tables []*report.Table) error {
 	if err != nil {
 		return err
 	}
-	if err := report.NewExport(tables, metrics.Default()).WriteJSON(f); err != nil {
+	export := report.NewExport(tables, metrics.Default()).WithTraces(trace.Default())
+	if err := export.WriteJSON(f); err != nil {
 		_ = f.Close()
 		return err
 	}
@@ -159,7 +205,7 @@ func runRemote(server string, hours, perValue int, seed int64, export string) er
 	if err != nil {
 		return err
 	}
-	fmt.Printf("phsniffer: remote monitoring %s for %d simulated hours\n", server, hours)
+	logger.Info("remote monitoring", "server", server, "hours", hours)
 	if err := sniffer.MonitorSimHours(context.Background(), hours); err != nil {
 		return err
 	}

@@ -6,42 +6,71 @@
 //
 //	twitterd [-addr :8331] [-accounts 6000] [-organic 1200] [-seed 1]
 //	         [-tick 2s] [-oracle]
+//	         [-trace-buffer 256] [-slow-span 250ms] [-log-level info]
+//	         [-pprof]
 //
 // With -tick set, one simulated hour elapses per tick of wall time;
 // without it, advance time explicitly via POST /sim/advance.json?hours=N.
+//
+// Observability: GET /metrics (Prometheus text), GET /healthz, and — when
+// -trace-buffer is positive — GET /debug/traces; -pprof additionally
+// mounts net/http/pprof. -slow-span and -log-level control the structured
+// event log on stderr.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/twitterapi"
 )
 
+// logger is the process logger, reconfigured from -log-level in run.
+var logger = trace.NewLogger(os.Stderr, trace.LevelInfo)
+
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		logger.Error("run failed", "err", err)
+		os.Exit(1)
 	}
 }
 
 func run() error {
 	var (
-		addr     = flag.String("addr", ":8331", "listen address")
-		accounts = flag.Int("accounts", 6000, "number of simulated accounts")
-		organic  = flag.Int("organic", 1200, "organic tweets per simulated hour")
-		seed     = flag.Int64("seed", 1, "world seed")
-		tick     = flag.Duration("tick", 0, "wall-clock duration of one simulated hour (0 = manual advance)")
-		oracle   = flag.Bool("oracle", false, "expose ground-truth spam fields on streams (evaluation only)")
+		addr        = flag.String("addr", ":8331", "listen address")
+		accounts    = flag.Int("accounts", 6000, "number of simulated accounts")
+		organic     = flag.Int("organic", 1200, "organic tweets per simulated hour")
+		seed        = flag.Int64("seed", 1, "world seed")
+		tick        = flag.Duration("tick", 0, "wall-clock duration of one simulated hour (0 = manual advance)")
+		oracle      = flag.Bool("oracle", false, "expose ground-truth spam fields on streams (evaluation only)")
+		traceBuffer = flag.Int("trace-buffer", 256, "pipeline traces to retain for /debug/traces (0 disables tracing)")
+		slowSpan    = flag.Duration("slow-span", 250*time.Millisecond, "log a warn event for spans at least this long (0 disables)")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+
+	level, err := trace.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger.SetLevel(level)
+	tracer := trace.Default()
+	tracer.Configure(trace.Config{
+		Enabled:  *traceBuffer > 0,
+		Buffer:   *traceBuffer,
+		SlowSpan: *slowSpan,
+		Logger:   logger,
+		Observer: metrics.Default().SpanObserver(),
+	})
 
 	cfg := socialnet.DefaultConfig()
 	cfg.Seed = *seed
@@ -56,6 +85,12 @@ func run() error {
 	opts := []twitterapi.ServerOption{twitterapi.WithSeed(*seed)}
 	if *oracle {
 		opts = append(opts, twitterapi.WithOracle())
+	}
+	if tracer.Enabled() {
+		opts = append(opts, twitterapi.WithTracer(tracer))
+	}
+	if *pprofOn {
+		opts = append(opts, twitterapi.WithPprof())
 	}
 	api := twitterapi.NewServer(engine, opts...)
 
@@ -90,13 +125,13 @@ func run() error {
 		_ = srv.Shutdown(shutdownCtx)
 	}()
 
-	fmt.Printf("twitterd: %d accounts, %d organic tweets/h, listening on %s\n",
-		world.NumAccounts(), *organic, *addr)
-	fmt.Println("twitterd: observability at GET /metrics (Prometheus text) and GET /healthz")
+	logger.Info("twitterd listening",
+		"addr", *addr, "accounts", world.NumAccounts(), "organic_per_hour", *organic,
+		"oracle", *oracle, "tracing", tracer.Enabled(), "pprof", *pprofOn)
 	if *tick > 0 {
-		fmt.Printf("twitterd: 1 simulated hour per %v\n", *tick)
+		logger.Info("auto-advancing simulated time", "hour_every", *tick)
 	} else {
-		fmt.Println("twitterd: advance time via POST /sim/advance.json?hours=N")
+		logger.Info("manual time control", "endpoint", "POST /sim/advance.json?hours=N")
 	}
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -8,6 +8,7 @@ import (
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/label"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/parallel"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
 )
 
 // BenchmarkDetectorClassify times batch classification of a captured
@@ -64,5 +65,57 @@ func BenchmarkDetectorClassify(b *testing.B) {
 	par := b.Elapsed() / time.Duration(b.N)
 	if par > 0 {
 		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup-vs-1worker")
+	}
+}
+
+// benchStreamMonitor builds a monitor with a realistic node set and a
+// tweet mix of hits and misses for the OnTweet benchmarks.
+func benchStreamMonitor(b *testing.B, tracer *trace.Tracer) (*Monitor, []*socialnet.Tweet, func(socialnet.AccountID) *socialnet.Account) {
+	b.Helper()
+	cfg := socialnet.DefaultConfig()
+	cfg.NumAccounts = 2000
+	cfg.OrganicTweetsPerHour = 400
+	w, err := socialnet.NewWorld(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := socialnet.NewEngine(w)
+	m := NewMonitor(MonitorConfig{
+		Specs:  RandomSpec(120),
+		Seed:   1,
+		Tracer: tracer,
+	}, &LocalScreener{World: w, Rng: rand.New(rand.NewSource(2))})
+	var tweets []*socialnet.Tweet
+	cancel := e.Subscribe(func(t *socialnet.Tweet) { tweets = append(tweets, t) })
+	e.OnHourStart(func(hour int, now time.Time) { m.Rotate(now, time.Hour) })
+	e.RunHours(2)
+	cancel()
+	if len(tweets) == 0 {
+		b.Fatal("no tweets generated")
+	}
+	return m, tweets, w.Account
+}
+
+// BenchmarkOnTweetUntraced is the baseline stream path with the default
+// disabled tracer: misses allocate nothing, tracing costs one atomic load.
+func BenchmarkOnTweetUntraced(b *testing.B) {
+	m, tweets, lookup := benchStreamMonitor(b, trace.New(trace.Config{Enabled: false}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.OnTweet(tweets[i%len(tweets)], lookup)
+	}
+}
+
+// BenchmarkOnTweetTraced is the same stream replay with tracing enabled:
+// every hit additionally records a capture trace with capture and
+// feature_extract spans into the ring buffer. Compare against
+// BenchmarkOnTweetUntraced for the tracing overhead (DESIGN.md §11).
+func BenchmarkOnTweetTraced(b *testing.B) {
+	m, tweets, lookup := benchStreamMonitor(b, trace.New(trace.Config{Enabled: true}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.OnTweet(tweets[i%len(tweets)], lookup)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/tree"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/parallel"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
 )
 
 // ClassifierName identifies one of the paper's five compared detectors
@@ -63,19 +64,33 @@ func NewClassifier(name ClassifierName, seed int64) (ml.Classifier, error) {
 // Detector is the pseudo-honeypot spam detector: a trained classifier over
 // the 58-feature space.
 type Detector struct {
-	clf ml.Classifier
-	ins *detectorInstruments
+	clf    ml.Classifier
+	ins    *detectorInstruments
+	tracer *trace.Tracer
 }
 
-// NewDetector wraps a classifier, reporting through metrics.Default().
+// NewDetector wraps a classifier, reporting through metrics.Default() and
+// tracing through trace.Default().
 func NewDetector(clf ml.Classifier) *Detector {
-	return &Detector{clf: clf, ins: newDetectorInstruments(metrics.Default())}
+	return &Detector{
+		clf:    clf,
+		ins:    newDetectorInstruments(metrics.Default()),
+		tracer: trace.Default(),
+	}
 }
 
 // SetMetrics rebinds the detector's instrumentation to r (call before
 // Train/Classify; tests use it to reconcile against a private registry).
 func (d *Detector) SetMetrics(r *metrics.Registry) {
 	d.ins = newDetectorInstruments(r)
+}
+
+// SetTracer rebinds the detector's tracer (nil restores trace.Default()).
+func (d *Detector) SetTracer(t *trace.Tracer) {
+	if t == nil {
+		t = trace.Default()
+	}
+	d.tracer = t
 }
 
 // BuildDataset joins captured feature vectors with pipeline labels into a
@@ -104,11 +119,20 @@ func (d *Detector) Train(captures []*Capture, labels *label.Result) error {
 	if ds.Len() == 0 {
 		return errors.New("core: empty training set")
 	}
+	tr := d.tracer.Start("detector_train")
+	if tr != nil {
+		tr.SetAttr("samples", fmt.Sprint(ds.Len()))
+	}
+	defer trace.SetActive(tr)()
+	sp := tr.StartSpan("detector_train")
 	start := time.Now()
 	if err := d.clf.Fit(ds.X, ds.Y); err != nil {
+		tr.Finish()
 		return err
 	}
 	d.ins.trainSecs.ObserveDuration(start)
+	sp.End()
+	tr.Finish()
 	return nil
 }
 
@@ -130,12 +154,25 @@ func (d *Detector) FeatureImportance() []float64 {
 // identical to a sequential pass at any worker count.
 func (d *Detector) Classify(captures []*Capture) []bool {
 	start := time.Now()
+	tr := d.tracer.Start("detector_classify")
+	if tr != nil {
+		tr.SetAttr("captures", fmt.Sprint(len(captures)))
+	}
+	defer trace.SetActive(tr)()
+	sp := tr.StartSpan("detector_classify")
 	verdicts := make([]bool, len(captures))
 	parallel.ForEachChunk(len(captures), 0, classifyMinChunk, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
+			// Each capture's own trace gets a "classify" span so the
+			// per-capture journey covers the verdict; timing uses the
+			// capture trace's clock, so simulated runs stay replayable.
+			csp := captures[i].Trace.StartSpan("classify")
 			verdicts[i] = d.clf.Predict(captures[i].Vector[:])
+			csp.End()
 		}
 	})
+	sp.End()
+	tr.Finish()
 	spams := 0
 	for _, v := range verdicts {
 		if v {

@@ -3,11 +3,13 @@ package core
 import (
 	"math/rand"
 	"sort"
+	"strconv"
 	"time"
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/features"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
 )
 
 // Screener finds candidate pseudo-honeypot accounts. socialnet.World
@@ -62,6 +64,11 @@ type MonitorConfig struct {
 	// Metrics receives the monitor's instrumentation (DESIGN.md §9).
 	// Nil binds to the process-wide metrics.Default() registry.
 	Metrics *metrics.Registry
+
+	// Tracer records per-capture pipeline traces (DESIGN.md §11). Nil
+	// binds to the process-wide trace.Default() tracer, which starts
+	// disabled — tracing then costs one atomic load per stream hit.
+	Tracer *trace.Tracer
 }
 
 // GroupStats aggregates what one selector's node group captured.
@@ -96,6 +103,10 @@ type Capture struct {
 	// Spam is the detector's verdict, set by the classification pass
 	// (not ground truth).
 	Spam bool
+	// Trace is the capture's pipeline trace, nil when tracing is off.
+	// Batch stages (labeling, classification) append spans after the
+	// capture itself finished.
+	Trace *trace.Trace
 }
 
 // DefaultMaxRatio is the default selection-hygiene bound on candidates'
@@ -128,6 +139,7 @@ type Monitor struct {
 
 	rotations int
 	ins       *monitorInstruments
+	tracer    *trace.Tracer
 }
 
 // NewMonitor creates a monitor over the screener.
@@ -152,6 +164,10 @@ func NewMonitor(cfg MonitorConfig, screener Screener) *Monitor {
 		reg = metrics.Default()
 	}
 	m.ins = newMonitorInstruments(reg, m.groups)
+	m.tracer = cfg.Tracer
+	if m.tracer == nil {
+		m.tracer = trace.Default()
+	}
 	return m
 }
 
@@ -186,6 +202,8 @@ func (m *Monitor) CurrentNodes() map[socialnet.AccountID][]int {
 // feeds the node-hours PGE denominator.
 func (m *Monitor) Rotate(now time.Time, period time.Duration) {
 	start := time.Now()
+	tr := m.tracer.Start("rotate")
+	sp := tr.StartSpan("rotate")
 	m.nodes = make(map[socialnet.AccountID][]int)
 	maxRatio := m.cfg.MaxRatio
 	if maxRatio == 0 {
@@ -228,6 +246,12 @@ func (m *Monitor) Rotate(now time.Time, period time.Duration) {
 	m.ins.rotations.Inc()
 	m.ins.nodes.Set(float64(len(m.nodes)))
 	m.ins.rotationSecs.ObserveDuration(start)
+	sp.End()
+	if tr != nil {
+		tr.SetAttr("rotation", strconv.Itoa(m.rotations))
+		tr.SetAttr("nodes", strconv.Itoa(len(m.nodes)))
+	}
+	tr.Finish()
 }
 
 // AccrueHours extends the current node set's monitored time without
@@ -275,6 +299,11 @@ func (m *Monitor) OnTweet(t *socialnet.Tweet, lookup func(socialnet.AccountID) *
 	// Deterministic group order (the former set was map-ordered).
 	sort.Ints(scratch)
 
+	// A hit: trace this capture's journey. The miss path above never
+	// reaches here, so its zero-allocation discipline is untouched.
+	tr := m.tracer.Start("capture")
+	sp := tr.StartSpan("capture")
+
 	sender := lookup(t.AuthorID)
 	groups := make([]int, len(scratch))
 	copy(groups, scratch)
@@ -293,6 +322,7 @@ func (m *Monitor) OnTweet(t *socialnet.Tweet, lookup func(socialnet.AccountID) *
 		Sender:   sender,
 		Receiver: receiver,
 		AttrKeys: attrKeys,
+		Trace:    tr,
 	})
 	m.scratchGroups = scratch[:0]
 	m.scratchAttrs = attrKeys[:0]
@@ -302,7 +332,15 @@ func (m *Monitor) OnTweet(t *socialnet.Tweet, lookup func(socialnet.AccountID) *
 		Receiver: receiver,
 		Groups:   groups,
 		Vector:   vec,
+		Trace:    tr,
 	})
+	sp.End()
+	if tr != nil {
+		tr.SetAttr("tweet", strconv.FormatInt(int64(t.ID), 10))
+		tr.SetAttr("sender", strconv.FormatInt(int64(t.AuthorID), 10))
+		tr.SetAttr("groups", strconv.Itoa(len(groups)))
+	}
+	tr.Finish()
 }
 
 // appendUnique appends the group indices from gis not already in dst.
@@ -333,6 +371,15 @@ func appendUnique(dst []int, gis []int) []int {
 // (Category (1)) garners nothing. Category (1) spam still appears in the
 // capture list and the run totals.
 func (m *Monitor) AttributeSpam(verdicts []bool) {
+	tr := m.tracer.Start("pge_attribute")
+	sp := tr.StartSpan("pge_attribute")
+	defer func() {
+		sp.End()
+		if tr != nil {
+			tr.SetAttr("verdicts", strconv.Itoa(len(verdicts)))
+		}
+		tr.Finish()
+	}()
 	for i, c := range m.captures {
 		if i >= len(verdicts) {
 			break

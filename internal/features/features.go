@@ -15,6 +15,7 @@ import (
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/textutil"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
 )
 
 // NumFeatures is the dimensionality of a feature vector (the paper's 58).
@@ -271,12 +272,17 @@ type Observation struct {
 	// AttrKeys are the selector keys of the pseudo-honeypot group(s) that
 	// captured the tweet, for the environment-score feature.
 	AttrKeys []string
+	// Trace, when non-nil, receives a "feature_extract" span covering the
+	// extraction.
+	Trace *trace.Trace
 }
 
 // Extract converts one observation into a feature vector and folds the
 // observation into the behavioural state. Observations must be fed in
 // stream (chronological) order.
 func (e *Extractor) Extract(o Observation) Vector {
+	sp := o.Trace.StartSpan("feature_extract")
+	defer sp.End()
 	var v Vector
 	t := o.Tweet
 	now := t.CreatedAt

@@ -13,6 +13,7 @@ package label
 import (
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/parallel"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/textutil"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
 )
 
 // Method identifies which pipeline stage produced a label (the rows of the
@@ -181,6 +183,10 @@ type Config struct {
 	// Metrics receives the pipeline's pass timings; nil means
 	// metrics.Default().
 	Metrics *metrics.Registry
+
+	// Tracer records one trace per Run with a span per labeling pass;
+	// nil means trace.Default().
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig returns the paper's thresholds.
@@ -199,9 +205,13 @@ func DefaultConfig() Config {
 
 // Pipeline runs the four-stage labeling process.
 type Pipeline struct {
-	cfg Config
-	rng *rand.Rand
-	ins *pipelineInstruments
+	cfg    Config
+	rng    *rand.Rand
+	ins    *pipelineInstruments
+	tracer *trace.Tracer
+	// tr is the trace of the Run in progress (and, afterwards, of the
+	// most recent Run); the cluster passes attach their spans to it.
+	tr *trace.Trace
 }
 
 // NewPipeline creates a pipeline with cfg (zero-value fields fall back to
@@ -229,12 +239,22 @@ func NewPipeline(cfg Config) *Pipeline {
 	if cfg.RepeatThreshold <= 0 {
 		cfg.RepeatThreshold = def.RepeatThreshold
 	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = trace.Default()
+	}
 	return &Pipeline{
-		cfg: cfg,
-		rng: rand.New(rand.NewSource(cfg.Seed)),
-		ins: newPipelineInstruments(cfg.Metrics),
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		ins:    newPipelineInstruments(cfg.Metrics),
+		tracer: tracer,
 	}
 }
+
+// LastTrace returns the trace of the most recent Run (nil when tracing is
+// off). Callers adopt its pass spans into the capture traces that fed the
+// corpus.
+func (p *Pipeline) LastTrace() *trace.Trace { return p.tr }
 
 // Run labels the corpus: suspended accounts, clustering, rules, then
 // manual checking against the oracle.
@@ -245,10 +265,22 @@ func (p *Pipeline) Run(c *Corpus, oracle Oracle) *Result {
 		Spammers:   make(map[socialnet.AccountID]Method),
 		Benign:     make(map[socialnet.AccountID]Method),
 	}
-	p.labelSuspended(c, r)
+	p.tr = p.tracer.Start("label")
+	if p.tr != nil {
+		p.tr.SetAttr("tweets", strconv.Itoa(len(c.Tweets)))
+		p.tr.SetAttr("users", strconv.Itoa(len(c.Users)))
+	}
+	defer trace.SetActive(p.tr)()
+	pass := func(stage string, fn func()) {
+		sp := p.tr.StartSpan(stage)
+		fn()
+		sp.End()
+	}
+	pass("label_suspended", func() { p.labelSuspended(c, r) })
 	p.labelClustering(c, r)
-	p.labelRules(c, r)
-	p.manualCheck(c, r, oracle)
+	pass("label_rules", func() { p.labelRules(c, r) })
+	pass("label_manual", func() { p.manualCheck(c, r, oracle) })
+	p.tr.Finish()
 	return r
 }
 
@@ -377,6 +409,7 @@ func (p *Pipeline) clusterUsers(c *Corpus) [][]socialnet.AccountID {
 // clusterByImage groups profile images via dHash + Hamming threshold.
 func (p *Pipeline) clusterByImage(c *Corpus, ids []socialnet.AccountID) [][]socialnet.AccountID {
 	defer p.ins.clusterSecs.With("image").ObserveDuration(time.Now())
+	defer p.tr.StartSpan("label_cluster_image").End()
 	imgGrouper := imagehash.NewGrouper(p.cfg.ImageHammingThreshold)
 	imgGrouper.SetWorkers(p.cfg.Workers)
 	imgGroups := make(map[int][]socialnet.AccountID)
@@ -408,6 +441,7 @@ func (p *Pipeline) clusterByImage(c *Corpus, ids []socialnet.AccountID) [][]soci
 // of the corpus carries no campaign signal.
 func (p *Pipeline) clusterByName(c *Corpus, ids []socialnet.AccountID) [][]socialnet.AccountID {
 	defer p.ins.clusterSecs.With("name").ObserveDuration(time.Now())
+	defer p.tr.StartSpan("label_cluster_name").End()
 	seqs := parallel.Map(len(ids), p.cfg.Workers, func(i int) string {
 		return textutil.ClassSeqWithRunLengths(c.Users[ids[i]].ScreenName)
 	})
@@ -441,6 +475,7 @@ func (p *Pipeline) clusterByName(c *Corpus, ids []socialnet.AccountID) [][]socia
 // clusterByDescription groups near-duplicate descriptions via MinHash.
 func (p *Pipeline) clusterByDescription(c *Corpus, ids []socialnet.AccountID) [][]socialnet.AccountID {
 	defer p.ins.clusterSecs.With("description").ObserveDuration(time.Now())
+	defer p.tr.StartSpan("label_cluster_description").End()
 	norms := parallel.Map(len(ids), p.cfg.Workers, func(i int) string {
 		return textutil.NormalizeDescription(c.Users[ids[i]].Description)
 	})
@@ -470,6 +505,7 @@ func (p *Pipeline) clusterByDescription(c *Corpus, ids []socialnet.AccountID) []
 // clusterTweets returns near-duplicate tweet groups within the time window.
 func (p *Pipeline) clusterTweets(c *Corpus) [][]*socialnet.Tweet {
 	defer p.ins.clusterSecs.With("tweets").ObserveDuration(time.Now())
+	defer p.tr.StartSpan("label_cluster_tweets").End()
 	norms := parallel.Map(len(c.Tweets), p.cfg.Workers, func(i int) string {
 		return textutil.NormalizeDescription(stripMentions(c.Tweets[i].Text))
 	})

@@ -6,8 +6,12 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -120,19 +124,55 @@ func (r *Registry) Handler() http.Handler {
 
 var processStart = time.Now()
 
-// Health is the /healthz response body.
+// lastStreamRead is the unix-nano timestamp of the most recent healthy
+// stream read (0 = never). Stream consumers report through MarkStreamRead
+// so /healthz can expose staleness without coupling to the client package.
+var lastStreamRead atomic.Int64
+
+// MarkStreamRead records a successful stream read at t, surfaced by
+// /healthz as last_stream_read_age_seconds.
+func MarkStreamRead(t time.Time) { lastStreamRead.Store(t.UnixNano()) }
+
+// Health is the /healthz response body. Status is always "ok" with a 200
+// response — the endpoint is a liveness probe; the extra fields carry
+// context, not health state.
 type Health struct {
-	Status        string  `json:"status"`
+	Status        string `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Build identifies the main module ("path@version") when build info
+	// is embedded.
+	Build string `json:"build,omitempty"`
+	// LastStreamReadAgeSeconds is the age of the most recent healthy
+	// stream read; nil when the process never consumed a stream.
+	LastStreamReadAgeSeconds *float64 `json:"last_stream_read_age_seconds,omitempty"`
 }
 
-// HealthHandler serves a liveness probe: {"status":"ok","uptime_seconds":N}.
+// buildString resolves the embedded main-module identity once.
+var buildString = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok || bi.Main.Path == "" {
+		return ""
+	}
+	return bi.Main.Path + "@" + bi.Main.Version
+})
+
+// HealthHandler serves a liveness probe: always 200 with
+// {"status":"ok",...} plus uptime, build identity, and stream staleness.
 func HealthHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(Health{
+		h := Health{
 			Status:        "ok",
 			UptimeSeconds: time.Since(processStart).Seconds(),
-		})
+			GoVersion:     runtime.Version(),
+			Build:         buildString(),
+		}
+		if ns := lastStreamRead.Load(); ns != 0 {
+			age := time.Since(time.Unix(0, ns)).Seconds()
+			h.LastStreamReadAgeSeconds = &age
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(h)
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func testRegistry() *Registry {
@@ -172,6 +173,72 @@ func TestHealthHandler(t *testing.T) {
 	}
 	if h.Status != "ok" || h.UptimeSeconds < 0 {
 		t.Fatalf("health = %+v", h)
+	}
+	if h.GoVersion == "" {
+		t.Fatal("health missing go_version")
+	}
+}
+
+func TestHealthStreamReadAge(t *testing.T) {
+	// Before any stream read the field is absent; after MarkStreamRead it
+	// reports a small age. lastStreamRead is process state, so reset it.
+	lastStreamRead.Store(0)
+	defer lastStreamRead.Store(0)
+
+	get := func() Health {
+		srv := httptest.NewServer(HealthHandler())
+		defer srv.Close()
+		resp, err := srv.Client().Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h Health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	if h := get(); h.LastStreamReadAgeSeconds != nil {
+		t.Fatalf("stream age present before any read: %+v", h)
+	}
+	MarkStreamRead(time.Now())
+	h := get()
+	if h.LastStreamReadAgeSeconds == nil {
+		t.Fatal("stream age missing after MarkStreamRead")
+	}
+	if age := *h.LastStreamReadAgeSeconds; age < 0 || age > 60 {
+		t.Fatalf("implausible stream read age %v", age)
+	}
+}
+
+func TestSpanObserver(t *testing.T) {
+	reg := NewRegistry()
+	obs := reg.SpanObserver()
+	obs("classify", 0.25)
+	obs("classify", 0.75)
+	obs("capture", 0.001)
+	var fam *FamilySnapshot
+	for _, f := range reg.Snapshot() {
+		if f.Name == "ph_trace_span_seconds" {
+			fam = &f
+			break
+		}
+	}
+	if fam == nil {
+		t.Fatal("ph_trace_span_seconds not registered")
+	}
+	byStage := make(map[string]Sample)
+	for _, s := range fam.Samples {
+		if len(s.Labels) == 1 && s.Labels[0].Name == "stage" {
+			byStage[s.Labels[0].Value] = s
+		}
+	}
+	if s := byStage["classify"]; s.Count != 2 || s.Sum != 1.0 {
+		t.Fatalf("classify histogram = count %d sum %v", s.Count, s.Sum)
+	}
+	if s := byStage["capture"]; s.Count != 1 || s.Sum != 0.001 {
+		t.Fatalf("capture histogram = count %d sum %v", s.Count, s.Sum)
 	}
 }
 

@@ -1,0 +1,14 @@
+package metrics
+
+// SpanObserver returns a trace-span observer feeding the
+// ph_trace_span_seconds histogram family, partitioned by pipeline stage.
+// Wire it into trace.Config.Observer so every completed span lands in the
+// same registry the aggregate instruments use: the per-stage histogram sum
+// then equals the summed span durations by construction.
+func (r *Registry) SpanObserver() func(stage string, seconds float64) {
+	vec := r.HistogramVec("ph_trace_span_seconds",
+		"Duration of pipeline trace spans by stage.", nil, "stage")
+	return func(stage string, seconds float64) {
+		vec.With(stage).Observe(seconds)
+	}
+}

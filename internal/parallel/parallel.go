@@ -18,6 +18,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
 )
 
 // EnvWorkers is the environment variable overriding the default worker
@@ -75,6 +77,14 @@ func ForEachWorker(n, workers int, fn func(worker, i int)) {
 	ins.tasks.Add(float64(n))
 	ins.busy.Add(float64(workers))
 	defer ins.busy.Add(-float64(workers))
+	// Batch stages publish their trace via trace.SetActive; attach the
+	// fan-out window to it. One atomic load when no trace is active.
+	if tr := trace.Active(); tr != nil {
+		sp := tr.StartSpan("parallel_batch")
+		sp.SetAttr("tasks", strconv.Itoa(n))
+		sp.SetAttr("workers", strconv.Itoa(workers))
+		defer sp.End()
+	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			fn(0, i)

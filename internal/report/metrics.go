@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
 )
 
 // MetricsTable flattens a registry snapshot into a table — one row per
@@ -42,6 +43,10 @@ func MetricsTable(families []metrics.FamilySnapshot) *Table {
 type Export struct {
 	Tables  []*Table                 `json:"tables"`
 	Metrics []metrics.FamilySnapshot `json:"metrics,omitempty"`
+	// Traces is the run's stage-latency attribution: per-stage
+	// p50/p95/max over the tracer's retained spans plus the slowest
+	// trace ids. Present only when tracing was enabled (WithTraces).
+	Traces *trace.Summary `json:"traces,omitempty"`
 }
 
 // NewExport snapshots reg (nil ⇒ no metrics section) alongside tables.
@@ -49,6 +54,21 @@ func NewExport(tables []*Table, reg *metrics.Registry) *Export {
 	e := &Export{Tables: tables}
 	if reg != nil {
 		e.Metrics = reg.Snapshot()
+	}
+	return e
+}
+
+// slowTracesInExport bounds the slowest-trace list embedded in exports.
+const slowTracesInExport = 5
+
+// WithTraces embeds t's stage-latency summary (no-op when t is nil or
+// retained nothing) and returns e for chaining.
+func (e *Export) WithTraces(t *trace.Tracer) *Export {
+	if t == nil {
+		return e
+	}
+	if sum := t.Summary(slowTracesInExport); sum.Traces > 0 {
+		e.Traces = sum
 	}
 	return e
 }

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TraceList is the /debug/traces response body.
+type TraceList struct {
+	// Count is the number of traces returned after filtering.
+	Count int `json:"count"`
+	// Enabled mirrors the tracer's state so a scraper can tell "no
+	// traffic" from "tracing off".
+	Enabled bool        `json:"enabled"`
+	Traces  []TraceInfo `json:"traces"`
+}
+
+// Handler serves the trace ring buffer as JSON. Mount it at both
+// GET /debug/traces and GET /debug/traces/{id}:
+//
+//	/debug/traces            — newest-first list; filters:
+//	    ?stage=feature_extract   only traces containing a span of the stage
+//	    ?name=capture            only traces with this root name
+//	    ?min=5ms                 only traces at least this long
+//	    ?limit=50                at most N traces (default 100, 0 = all)
+//	/debug/traces/{id}       — one trace by id, 404 when evicted/unknown
+//
+// Responses are deterministic for a deterministic tracer: ids are
+// sequential and span order is normalized by Snapshot.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if id := traceID(r); id != "" {
+			info, ok := t.Get(id)
+			if !ok {
+				http.Error(w, `{"error":"trace not found"}`, http.StatusNotFound)
+				return
+			}
+			writeTraceJSON(w, info)
+			return
+		}
+		q := r.URL.Query()
+		var minDur time.Duration
+		if m := q.Get("min"); m != "" {
+			d, err := time.ParseDuration(m)
+			if err != nil {
+				http.Error(w, `{"error":"bad min duration"}`, http.StatusBadRequest)
+				return
+			}
+			minDur = d
+		}
+		limit := 100
+		if ls := q.Get("limit"); ls != "" {
+			n, err := strconv.Atoi(ls)
+			if err != nil || n < 0 {
+				http.Error(w, `{"error":"bad limit"}`, http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		stage, name := q.Get("stage"), q.Get("name")
+
+		recent := t.Recent() // oldest first
+		list := TraceList{Enabled: t.Enabled(), Traces: []TraceInfo{}}
+		for i := len(recent) - 1; i >= 0; i-- { // newest first
+			tr := recent[i]
+			if name != "" && tr.Name != name {
+				continue
+			}
+			if minDur > 0 && time.Duration(tr.DurationNS) < minDur {
+				continue
+			}
+			if stage != "" {
+				if _, ok := tr.Span(stage); !ok {
+					continue
+				}
+			}
+			list.Traces = append(list.Traces, tr)
+			if limit > 0 && len(list.Traces) >= limit {
+				break
+			}
+		}
+		list.Count = len(list.Traces)
+		writeTraceJSON(w, list)
+	})
+}
+
+// traceID extracts the {id} path value, falling back to suffix parsing
+// for muxes without pattern wildcards.
+func traceID(r *http.Request) string {
+	if id := r.PathValue("id"); id != "" {
+		return id
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/debug/traces")
+	rest = strings.Trim(rest, "/")
+	if rest != "" && !strings.Contains(rest, "/") {
+		return rest
+	}
+	return ""
+}
+
+func writeTraceJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

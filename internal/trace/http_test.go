@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// traceServer mounts the handler exactly as the daemons do.
+func traceServer(t *testing.T, tr *Tracer) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.Handle("GET /debug/traces", tr.Handler())
+	mux.Handle("GET /debug/traces/{id}", tr.Handler())
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("invalid JSON %q: %v", body, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHandlerListAndFilters(t *testing.T) {
+	tr, clk := simTracer(Config{})
+	// Three traces: a slow capture with a classify span, a fast capture,
+	// and a label batch.
+	a := tr.Start("capture")
+	sp := a.StartSpan("classify")
+	clk.Advance(20 * time.Millisecond)
+	sp.End()
+	a.Finish()
+	b := tr.Start("capture")
+	clk.Advance(time.Millisecond)
+	b.Finish()
+	c := tr.Start("label")
+	c.StartSpan("label_rules").End()
+	clk.Advance(5 * time.Millisecond)
+	c.Finish()
+
+	srv := traceServer(t, tr)
+
+	var list TraceList
+	if code := getJSON(t, srv.URL+"/debug/traces", &list); code != http.StatusOK {
+		t.Fatalf("list status %d", code)
+	}
+	if list.Count != 3 || !list.Enabled || len(list.Traces) != 3 {
+		t.Fatalf("list %+v", list)
+	}
+	if list.Traces[0].ID != "t-000003" || list.Traces[2].ID != "t-000001" {
+		t.Fatalf("not newest-first: %s .. %s", list.Traces[0].ID, list.Traces[2].ID)
+	}
+
+	getJSON(t, srv.URL+"/debug/traces?stage=classify", &list)
+	if list.Count != 1 || list.Traces[0].ID != "t-000001" {
+		t.Fatalf("stage filter %+v", list)
+	}
+	getJSON(t, srv.URL+"/debug/traces?name=label", &list)
+	if list.Count != 1 || list.Traces[0].Name != "label" {
+		t.Fatalf("name filter %+v", list)
+	}
+	getJSON(t, srv.URL+"/debug/traces?min=10ms", &list)
+	if list.Count != 1 || list.Traces[0].ID != "t-000001" {
+		t.Fatalf("min filter %+v", list)
+	}
+	getJSON(t, srv.URL+"/debug/traces?limit=2", &list)
+	if list.Count != 2 {
+		t.Fatalf("limit filter %+v", list)
+	}
+
+	if code := getJSON(t, srv.URL+"/debug/traces?min=banana", &list); code != http.StatusBadRequest {
+		t.Fatalf("bad min accepted: %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/debug/traces?limit=-1", &list); code != http.StatusBadRequest {
+		t.Fatalf("bad limit accepted: %d", code)
+	}
+}
+
+func TestHandlerSingleTrace(t *testing.T) {
+	tr, clk := simTracer(Config{})
+	a := tr.Start("capture")
+	sp := a.StartSpan("feature_extract")
+	clk.Advance(3 * time.Millisecond)
+	sp.End()
+	a.Finish()
+
+	srv := traceServer(t, tr)
+	var info TraceInfo
+	if code := getJSON(t, srv.URL+"/debug/traces/t-000001", &info); code != http.StatusOK {
+		t.Fatalf("get status %d", code)
+	}
+	if info.ID != "t-000001" || len(info.Spans) != 1 ||
+		info.Spans[0].Stage != "feature_extract" ||
+		info.Spans[0].DurationNS != (3*time.Millisecond).Nanoseconds() {
+		t.Fatalf("trace %+v", info)
+	}
+	if code := getJSON(t, srv.URL+"/debug/traces/t-000099", &info); code != http.StatusNotFound {
+		t.Fatalf("missing trace status %d", code)
+	}
+}
+
+func TestHandlerDeterministicJSON(t *testing.T) {
+	// Two identical simulated runs must serve byte-identical payloads.
+	run := func() string {
+		tr, clk := simTracer(Config{})
+		a := tr.Start("capture")
+		a.SetAttr("tweet", "7")
+		sp := a.StartSpan("feature_extract")
+		clk.Advance(2 * time.Millisecond)
+		sp.End()
+		a.Finish()
+		rec := httptest.NewRecorder()
+		tr.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces", nil))
+		return rec.Body.String()
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Fatalf("payloads differ:\n%s\n---\n%s", first, second)
+	}
+	if !json.Valid([]byte(first)) {
+		t.Fatalf("payload not valid JSON: %s", first)
+	}
+}
+
+func TestHandlerPathFallback(t *testing.T) {
+	// Mounted without pattern wildcards (e.g. behind a bare mux), the id
+	// must still resolve from the URL path.
+	tr, _ := simTracer(Config{})
+	tr.Start("capture").Finish()
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces/t-000001", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fallback path status %d", rec.Code)
+	}
+	var info TraceInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil || info.ID != "t-000001" {
+		t.Fatalf("fallback body %s err %v", rec.Body.String(), err)
+	}
+}

@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity.
+type Level int32
+
+// Severities, lowest first.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "level(" + strconv.Itoa(int(l)) + ")"
+	}
+}
+
+// ParseLevel resolves a -log-level flag value ("debug", "info", "warn",
+// "error", case-insensitive).
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	default:
+		return LevelInfo, fmt.Errorf("trace: unknown log level %q", s)
+	}
+}
+
+// Logger is a leveled structured logger emitting one event per line in
+// logfmt-style key=value pairs or JSON. It is safe for concurrent use;
+// a nil *Logger drops everything.
+type Logger struct {
+	level atomic.Int32
+	json  atomic.Bool
+
+	mu    sync.Mutex
+	w     io.Writer
+	clock func() time.Time
+}
+
+// NewLogger creates a logger writing key=value lines at or above level.
+func NewLogger(w io.Writer, level Level) *Logger {
+	l := &Logger{w: w, clock: time.Now}
+	l.level.Store(int32(level))
+	return l
+}
+
+// SetLevel changes the minimum emitted severity.
+func (l *Logger) SetLevel(level Level) {
+	if l != nil {
+		l.level.Store(int32(level))
+	}
+}
+
+// Level returns the minimum emitted severity.
+func (l *Logger) Level() Level {
+	if l == nil {
+		return LevelError
+	}
+	return Level(l.level.Load())
+}
+
+// SetJSON switches between JSON (true) and key=value (false) lines.
+func (l *Logger) SetJSON(on bool) {
+	if l != nil {
+		l.json.Store(on)
+	}
+}
+
+// SetClock injects a timestamp source (nil restores time.Now). Tests use
+// a simclock-driven function so emitted lines are deterministic.
+func (l *Logger) SetClock(clock func() time.Time) {
+	if l == nil {
+		return
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	l.mu.Lock()
+	l.clock = clock
+	l.mu.Unlock()
+}
+
+// Enabled reports whether events at level would be emitted.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= Level(l.level.Load())
+}
+
+// Debug emits a debug event with alternating key/value pairs.
+func (l *Logger) Debug(msg string, kvs ...any) { l.Log(LevelDebug, msg, kvs...) }
+
+// Info emits an info event.
+func (l *Logger) Info(msg string, kvs ...any) { l.Log(LevelInfo, msg, kvs...) }
+
+// Warn emits a warning event.
+func (l *Logger) Warn(msg string, kvs ...any) { l.Log(LevelWarn, msg, kvs...) }
+
+// Error emits an error event.
+func (l *Logger) Error(msg string, kvs ...any) { l.Log(LevelError, msg, kvs...) }
+
+// Log emits one event. kvs alternate key, value; a trailing key without a
+// value is paired with "!MISSING". Keys are emitted in argument order.
+func (l *Logger) Log(level Level, msg string, kvs ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ts := l.clock().UTC().Format(time.RFC3339Nano)
+	var b strings.Builder
+	if l.json.Load() {
+		b.WriteString(`{"ts":`)
+		b.WriteString(strconv.Quote(ts))
+		b.WriteString(`,"level":`)
+		b.WriteString(strconv.Quote(level.String()))
+		b.WriteString(`,"msg":`)
+		b.WriteString(strconv.Quote(msg))
+		for i := 0; i < len(kvs); i += 2 {
+			b.WriteByte(',')
+			b.WriteString(strconv.Quote(keyAt(kvs, i)))
+			b.WriteByte(':')
+			b.WriteString(jsonValue(valueAt(kvs, i)))
+		}
+		b.WriteString("}\n")
+	} else {
+		b.WriteString("ts=")
+		b.WriteString(ts)
+		b.WriteString(" level=")
+		b.WriteString(level.String())
+		b.WriteString(" msg=")
+		b.WriteString(logfmtValue(msg))
+		for i := 0; i < len(kvs); i += 2 {
+			b.WriteByte(' ')
+			b.WriteString(keyAt(kvs, i))
+			b.WriteByte('=')
+			b.WriteString(logfmtValue(fmt.Sprint(valueAt(kvs, i))))
+		}
+		b.WriteByte('\n')
+	}
+	_, _ = io.WriteString(l.w, b.String())
+}
+
+func keyAt(kvs []any, i int) string {
+	if k, ok := kvs[i].(string); ok {
+		return k
+	}
+	return fmt.Sprint(kvs[i])
+}
+
+func valueAt(kvs []any, i int) any {
+	if i+1 < len(kvs) {
+		return kvs[i+1]
+	}
+	return "!MISSING"
+}
+
+// logfmtValue quotes a value when it contains whitespace, quotes, or
+// control characters; bare tokens stay bare for grep-ability.
+func logfmtValue(s string) string {
+	if s == "" {
+		return `""`
+	}
+	if strings.IndexFunc(s, func(r rune) bool {
+		return r <= ' ' || r == '"' || r == '=' || r == 0x7f
+	}) >= 0 {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// jsonValue renders a structured value: numbers and booleans stay typed,
+// everything else is a quoted string.
+func jsonValue(v any) string {
+	switch x := v.(type) {
+	case bool:
+		return strconv.FormatBool(x)
+	case int:
+		return strconv.Itoa(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case uint64:
+		return strconv.FormatUint(x, 10)
+	case float64:
+		f := strconv.FormatFloat(x, 'g', -1, 64)
+		if f == "+Inf" || f == "-Inf" || f == "NaN" {
+			return strconv.Quote(f) // not valid JSON numbers
+		}
+		return f
+	default:
+		return strconv.Quote(fmt.Sprint(v))
+	}
+}

@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// SpanInfo is the immutable snapshot of one span.
+type SpanInfo struct {
+	Stage string    `json:"stage"`
+	Start time.Time `json:"start"`
+	// DurationNS is the span length in nanoseconds. JSON uses an integer
+	// (not a float of seconds) so snapshots are exact and deterministic.
+	DurationNS int64 `json:"duration_ns"`
+	Attrs      []KV  `json:"attrs,omitempty"`
+}
+
+// End returns the span's end instant.
+func (s SpanInfo) End() time.Time { return s.Start.Add(time.Duration(s.DurationNS)) }
+
+// TraceInfo is the immutable snapshot of one trace.
+type TraceInfo struct {
+	ID         string     `json:"id"`
+	Name       string     `json:"name"`
+	Start      time.Time  `json:"start"`
+	DurationNS int64      `json:"duration_ns"`
+	Finished   bool       `json:"finished"`
+	Attrs      []KV       `json:"attrs,omitempty"`
+	Spans      []SpanInfo `json:"spans"`
+}
+
+// Span returns the first span snapshot with the given stage.
+func (t TraceInfo) Span(stage string) (SpanInfo, bool) {
+	for _, s := range t.Spans {
+		if s.Stage == stage {
+			return s, true
+		}
+	}
+	return SpanInfo{}, false
+}
+
+// Snapshot copies the trace's current state. Spans are ordered by
+// (start, stage, duration, attrs) rather than creation order: concurrent
+// stages append in scheduling order, and the sort restores a replayable
+// order so simclock-driven runs marshal to identical JSON.
+func (tr *Trace) Snapshot() TraceInfo {
+	if tr == nil {
+		return TraceInfo{}
+	}
+	tr.mu.Lock()
+	info := TraceInfo{
+		ID:       tr.id,
+		Name:     tr.name,
+		Start:    tr.start,
+		Finished: tr.finished,
+		Attrs:    append([]KV(nil), tr.attrs...),
+	}
+	end := tr.end
+	info.Spans = make([]SpanInfo, 0, len(tr.spans))
+	for _, s := range tr.spans {
+		sEnd := s.end
+		if !s.ended {
+			sEnd = s.start // open span: report zero duration so far
+		}
+		info.Spans = append(info.Spans, SpanInfo{
+			Stage:      s.stage,
+			Start:      s.start,
+			DurationNS: sEnd.Sub(s.start).Nanoseconds(),
+			Attrs:      append([]KV(nil), s.attrs...),
+		})
+	}
+	tr.mu.Unlock()
+	if !end.IsZero() {
+		info.DurationNS = end.Sub(info.Start).Nanoseconds()
+	}
+	sort.SliceStable(info.Spans, func(i, j int) bool {
+		a, b := info.Spans[i], info.Spans[j]
+		if !a.Start.Equal(b.Start) {
+			return a.Start.Before(b.Start)
+		}
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		if a.DurationNS != b.DurationNS {
+			return a.DurationNS < b.DurationNS
+		}
+		return attrKey(a.Attrs) < attrKey(b.Attrs)
+	})
+	return info
+}
+
+func attrKey(kvs []KV) string {
+	k := ""
+	for _, kv := range kvs {
+		k += kv.Key + "\x00" + kv.Value + "\x00"
+	}
+	return k
+}
+
+// StageStat aggregates every retained span of one stage.
+type StageStat struct {
+	Stage string `json:"stage"`
+	Count int    `json:"count"`
+	// Latency quantiles in seconds (nearest-rank percentiles).
+	P50Seconds float64 `json:"p50_seconds"`
+	P95Seconds float64 `json:"p95_seconds"`
+	MaxSeconds float64 `json:"max_seconds"`
+	SumSeconds float64 `json:"sum_seconds"`
+}
+
+// SlowTrace identifies one of the slowest retained traces.
+type SlowTrace struct {
+	ID              string  `json:"id"`
+	Name            string  `json:"name"`
+	DurationSeconds float64 `json:"duration_seconds"`
+}
+
+// Summary is the aggregate view of the tracer's ring buffer: per-stage
+// latency attribution plus the slowest whole traces. report.Export embeds
+// it so an archived run carries its stage-latency profile.
+type Summary struct {
+	Traces  int         `json:"traces"`
+	Spans   int         `json:"spans"`
+	Stages  []StageStat `json:"stages"`
+	Slowest []SlowTrace `json:"slowest,omitempty"`
+}
+
+// Summary computes per-stage p50/p95/max/sum over the retained traces and
+// the topK slowest trace ids. Stages are sorted by name; ties in trace
+// duration break by id so the result is deterministic.
+func (t *Tracer) Summary(topK int) *Summary {
+	recent := t.Recent()
+	sum := &Summary{Traces: len(recent)}
+	byStage := make(map[string][]float64)
+	for _, tr := range recent {
+		for _, s := range tr.Spans {
+			byStage[s.Stage] = append(byStage[s.Stage],
+				time.Duration(s.DurationNS).Seconds())
+		}
+	}
+	stages := make([]string, 0, len(byStage))
+	for stage := range byStage {
+		stages = append(stages, stage)
+	}
+	sort.Strings(stages)
+	for _, stage := range stages {
+		durs := byStage[stage]
+		sort.Float64s(durs)
+		st := StageStat{
+			Stage:      stage,
+			Count:      len(durs),
+			P50Seconds: percentile(durs, 0.50),
+			P95Seconds: percentile(durs, 0.95),
+			MaxSeconds: durs[len(durs)-1],
+		}
+		for _, d := range durs {
+			st.SumSeconds += d
+		}
+		sum.Spans += len(durs)
+		sum.Stages = append(sum.Stages, st)
+	}
+	if topK > 0 {
+		slow := make([]SlowTrace, 0, len(recent))
+		for _, tr := range recent {
+			slow = append(slow, SlowTrace{
+				ID:              tr.ID,
+				Name:            tr.Name,
+				DurationSeconds: time.Duration(tr.DurationNS).Seconds(),
+			})
+		}
+		sort.Slice(slow, func(i, j int) bool {
+			if slow[i].DurationSeconds != slow[j].DurationSeconds {
+				return slow[i].DurationSeconds > slow[j].DurationSeconds
+			}
+			return slow[i].ID < slow[j].ID
+		})
+		if len(slow) > topK {
+			slow = slow[:topK]
+		}
+		sum.Slowest = slow
+	}
+	return sum
+}
+
+// percentile is the nearest-rank percentile of ascending-sorted durs.
+func percentile(durs []float64, p float64) float64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	rank := int(p*float64(len(durs)) + 0.999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(durs) {
+		rank = len(durs)
+	}
+	return durs[rank-1]
+}

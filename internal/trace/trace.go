@@ -1,0 +1,376 @@
+// Package trace is the per-event observability layer next to the
+// aggregate registry of internal/metrics: a dependency-free span tracer
+// that records each capture's journey through the pipeline stages —
+// capture, feature extraction, the labeling passes, classification, PGE
+// attribution — as a Trace of timed Spans, keeps a bounded ring buffer of
+// recent traces for /debug/traces inspection, and emits leveled structured
+// log events (log.go), including automatic events for spans that exceed a
+// slow-span threshold.
+//
+// Aggregates answer "how slow is stage X on average"; traces answer "why
+// was THIS capture slow". Both views stay consistent because every
+// completed span is also fed to the Config.Observer hook, which the
+// daemons wire to the ph_trace_span_seconds histogram family
+// (metrics.Registry.SpanObserver), so per-stage histogram sums equal the
+// summed span durations by construction.
+//
+// Timing comes from an injectable clock so simclock-driven tests replay
+// bit-for-bit; the default is time.Now, whose monotonic reading makes
+// span durations immune to wall-clock steps.
+//
+// A nil *Tracer, a disabled Tracer, a nil *Trace, and a nil *Span are all
+// valid no-op receivers: the disabled hot path performs one atomic load
+// and allocates nothing (enforced by TestDisabledTracerZeroAlloc), so
+// instrumented code never guards call sites.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBuffer is the ring-buffer capacity used when Config.Buffer is
+// zero or negative: deep enough to hold several rotations' worth of
+// capture traces on the default workloads, small enough (~a few hundred
+// KB) to sit in every daemon by default.
+const DefaultBuffer = 256
+
+// KV is one attribute of a trace or span. Attributes are ordered (no map)
+// so snapshots marshal deterministically.
+type KV struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Config parameterizes a Tracer.
+type Config struct {
+	// Enabled turns span recording on. A disabled tracer returns nil
+	// traces and costs one atomic load per Start call.
+	Enabled bool
+
+	// Buffer is the completed-trace ring capacity (<= 0 ⇒ DefaultBuffer).
+	Buffer int
+
+	// SlowSpan is the threshold at or above which a completed span
+	// auto-emits a warn-level event through Logger. Zero disables the
+	// events.
+	SlowSpan time.Duration
+
+	// Clock supplies timestamps; nil means time.Now. Simulation tests
+	// inject a simclock-driven function so traces replay exactly.
+	Clock func() time.Time
+
+	// Logger receives slow-span events; nil drops them.
+	Logger *Logger
+
+	// Observer receives every completed span (stage, duration in
+	// seconds); nil drops them. metrics.Registry.SpanObserver returns an
+	// implementation feeding the per-stage latency histograms.
+	Observer func(stage string, seconds float64)
+}
+
+// Tracer creates traces and retains the most recent completed ones in a
+// bounded ring buffer. All methods are safe for concurrent use.
+type Tracer struct {
+	enabled atomic.Bool
+	seq     atomic.Uint64
+
+	mu   sync.Mutex
+	cfg  Config
+	ring []*Trace // ring[next] is the oldest entry once full
+	next int
+}
+
+// New creates a tracer from cfg.
+func New(cfg Config) *Tracer {
+	t := &Tracer{}
+	t.Configure(cfg)
+	return t
+}
+
+var defaultTracer = New(Config{})
+
+// Default returns the process-wide tracer. It starts disabled; daemons
+// enable and size it from their -trace-buffer / -slow-span flags via
+// Configure.
+func Default() *Tracer { return defaultTracer }
+
+// Configure replaces the tracer's configuration and resets the ring
+// buffer. Traces already started keep the clock they were created with.
+func (t *Tracer) Configure(cfg Config) {
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = DefaultBuffer
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	t.mu.Lock()
+	t.cfg = cfg
+	t.ring = make([]*Trace, 0, cfg.Buffer)
+	t.next = 0
+	t.mu.Unlock()
+	t.enabled.Store(cfg.Enabled)
+}
+
+// Enabled reports whether the tracer records traces.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// Start begins a trace named after the pipeline step that owns it. It
+// returns nil — a valid no-op trace — when the tracer is nil or disabled.
+func (t *Tracer) Start(name string) *Trace {
+	if t == nil || !t.enabled.Load() {
+		return nil
+	}
+	t.mu.Lock()
+	clock := t.cfg.Clock
+	t.mu.Unlock()
+	return &Trace{
+		tracer: t,
+		id:     fmt.Sprintf("t-%06d", t.seq.Add(1)),
+		name:   name,
+		start:  clock(),
+		clock:  clock,
+	}
+}
+
+// record files a finished trace into the ring buffer, evicting the oldest
+// entry when full.
+func (t *Tracer) record(tr *Trace) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cap(t.ring) == 0 {
+		return
+	}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, tr)
+		return
+	}
+	t.ring[t.next] = tr
+	t.next = (t.next + 1) % len(t.ring)
+}
+
+// spanDone fans a completed span out to the observer and, past the
+// slow-span threshold, the event log.
+func (t *Tracer) spanDone(tr *Trace, stage string, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	observer := t.cfg.Observer
+	slow := t.cfg.SlowSpan
+	logger := t.cfg.Logger
+	t.mu.Unlock()
+	if observer != nil {
+		observer(stage, dur.Seconds())
+	}
+	if slow > 0 && dur >= slow && logger != nil {
+		logger.Warn("slow span",
+			"trace", tr.id, "name", tr.name, "stage", stage, "duration", dur)
+	}
+}
+
+// Recent snapshots the retained traces, oldest first. The result is
+// detached from live state.
+func (t *Tracer) Recent() []TraceInfo {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	traces := make([]*Trace, 0, len(t.ring))
+	if len(t.ring) == cap(t.ring) && cap(t.ring) > 0 {
+		traces = append(traces, t.ring[t.next:]...)
+		traces = append(traces, t.ring[:t.next]...)
+	} else {
+		traces = append(traces, t.ring...)
+	}
+	t.mu.Unlock()
+	out := make([]TraceInfo, 0, len(traces))
+	for _, tr := range traces {
+		out = append(out, tr.Snapshot())
+	}
+	return out
+}
+
+// Get returns the snapshot of the retained trace with the given id.
+func (t *Tracer) Get(id string) (TraceInfo, bool) {
+	for _, info := range t.Recent() {
+		if info.ID == id {
+			return info, true
+		}
+	}
+	return TraceInfo{}, false
+}
+
+// Trace is one recorded pipeline journey: a named window of time with
+// child spans. Methods are safe for concurrent use and are no-ops on a
+// nil receiver.
+//
+// A trace enters the tracer's ring buffer when Finish is called; later
+// spans may still be attached (batch stages enrich already-captured
+// traces), which extends the trace's end time.
+type Trace struct {
+	tracer *Tracer
+	id     string
+	name   string
+	clock  func() time.Time
+
+	mu       sync.Mutex
+	start    time.Time
+	end      time.Time
+	finished bool
+	attrs    []KV
+	spans    []*Span
+}
+
+// ID returns the trace id ("t-000042"); ids are a per-tracer sequence, so
+// simulated runs produce identical ids across replays.
+func (tr *Trace) ID() string {
+	if tr == nil {
+		return ""
+	}
+	return tr.id
+}
+
+// Name returns the pipeline step the trace was started for.
+func (tr *Trace) Name() string {
+	if tr == nil {
+		return ""
+	}
+	return tr.name
+}
+
+// SetAttr attaches (or overwrites) a trace attribute.
+func (tr *Trace) SetAttr(key, value string) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.attrs = setKV(tr.attrs, key, value)
+}
+
+// StartSpan opens a child span for a pipeline stage.
+func (tr *Trace) StartSpan(stage string) *Span {
+	if tr == nil {
+		return nil
+	}
+	s := &Span{tr: tr, stage: stage, start: tr.clock()}
+	tr.mu.Lock()
+	tr.spans = append(tr.spans, s)
+	tr.mu.Unlock()
+	return s
+}
+
+// AddSpan records an already-timed span, e.g. when a batch stage's
+// measured window is attached to every capture trace that went through
+// it. The span feeds the observer and slow-span log like any other.
+func (tr *Trace) AddSpan(stage string, start, end time.Time, attrs ...KV) {
+	if tr == nil {
+		return
+	}
+	if end.Before(start) {
+		end = start
+	}
+	s := &Span{tr: tr, stage: stage, start: start, end: end, ended: true}
+	s.attrs = append(s.attrs, attrs...)
+	tr.mu.Lock()
+	tr.spans = append(tr.spans, s)
+	if tr.finished && end.After(tr.end) {
+		tr.end = end
+	}
+	tr.mu.Unlock()
+	tr.tracer.spanDone(tr, stage, end.Sub(start))
+}
+
+// Finish stamps the trace's end time and files it into the tracer's ring
+// buffer. Finish is idempotent; only the first call records.
+func (tr *Trace) Finish() {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if tr.finished {
+		tr.mu.Unlock()
+		return
+	}
+	tr.finished = true
+	tr.end = tr.clock()
+	tr.mu.Unlock()
+	tr.tracer.record(tr)
+}
+
+// Span is one timed pipeline stage within a trace. Methods are no-ops on
+// a nil receiver.
+type Span struct {
+	tr    *Trace
+	stage string
+	start time.Time
+	end   time.Time
+	ended bool
+	attrs []KV
+}
+
+// SetAttr attaches (or overwrites) a span attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	s.attrs = setKV(s.attrs, key, value)
+}
+
+// End closes the span and reports it to the tracer's observer and
+// slow-span log. End is idempotent; only the first call records.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.ended {
+		s.tr.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.end = s.tr.clock()
+	if s.tr.finished && s.end.After(s.tr.end) {
+		s.tr.end = s.end // late span on a recorded trace extends it
+	}
+	stage, dur := s.stage, s.end.Sub(s.start)
+	s.tr.mu.Unlock()
+	s.tr.tracer.spanDone(s.tr, stage, dur)
+}
+
+// setKV overwrites key in kvs or appends it.
+func setKV(kvs []KV, key, value string) []KV {
+	for i := range kvs {
+		if kvs[i].Key == key {
+			kvs[i].Value = value
+			return kvs
+		}
+	}
+	return append(kvs, KV{Key: key, Value: value})
+}
+
+// active is the process-wide currently-executing batch trace. Batch
+// stages (labeling, training) publish their trace here so code they fan
+// out through — notably the parallel worker pool — can attach spans
+// without explicit plumbing.
+var active atomic.Pointer[Trace]
+
+// SetActive publishes tr as the active batch trace and returns a restore
+// function reinstating the previous one. Intended for defer:
+//
+//	defer trace.SetActive(tr)()
+func SetActive(tr *Trace) (restore func()) {
+	prev := active.Swap(tr)
+	return func() { active.Store(prev) }
+}
+
+// Active returns the current batch trace, or nil when none is published.
+// The load is a single atomic pointer read, cheap enough for hot paths.
+func Active() *Trace {
+	return active.Load()
+}

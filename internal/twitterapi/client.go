@@ -182,6 +182,7 @@ func (c *Client) Stream(ctx context.Context, filter StreamFilter, handler func(T
 		err := c.streamOnce(ctx, filter, func(t Tweet) {
 			delivered = true
 			c.ins.streamTweets.Inc()
+			metrics.MarkStreamRead(time.Now())
 			handler(t)
 		})
 		if ctx.Err() != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -12,6 +13,7 @@ import (
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
 )
 
 // streamBuffer is the per-connection tweet buffer. It absorbs the burst an
@@ -39,6 +41,18 @@ func WithMetrics(r *metrics.Registry) ServerOption {
 	return func(s *Server) { s.reg = r }
 }
 
+// WithTracer serves t's ring buffer at GET /debug/traces and
+// GET /debug/traces/{id}.
+func WithTracer(t *trace.Tracer) ServerOption {
+	return func(s *Server) { s.tracer = t }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/. Profiling exposes
+// internals, so it stays off unless the operator opts in (-pprof).
+func WithPprof() ServerOption {
+	return func(s *Server) { s.pprof = true }
+}
+
 // Server exposes a socialnet Engine over the emulated Twitter API. All
 // engine access is serialized through an internal mutex, so handlers may
 // run concurrently.
@@ -56,6 +70,8 @@ type Server struct {
 	mux     *http.ServeMux
 	reg     *metrics.Registry
 	ins     *serverInstruments
+	tracer  *trace.Tracer
+	pprof   bool
 }
 
 // stream is one connected streaming client.
@@ -96,7 +112,24 @@ func NewServer(engine *socialnet.Engine, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("GET /sim/stats.json", s.observed("sim/stats", s.handleStats))
 	s.mux.Handle("GET /metrics", s.reg.Handler())
 	s.mux.Handle("GET /healthz", metrics.HealthHandler())
+	if s.tracer != nil {
+		s.mux.Handle("GET /debug/traces", s.tracer.Handler())
+		s.mux.Handle("GET /debug/traces/{id}", s.tracer.Handler())
+	}
+	if s.pprof {
+		mountPprof(s.mux)
+	}
 	return s
+}
+
+// mountPprof attaches the net/http/pprof handlers, which register on
+// http.DefaultServeMux only, to an explicit mux.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 // ServeHTTP implements http.Handler.
