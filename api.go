@@ -5,13 +5,16 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/core"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/experiments"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/honeypot"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/label"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/pipeline"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/twitterapi"
@@ -48,6 +51,8 @@ type (
 	Metrics = ml.Metrics
 	// LabelResult is the ground-truth labeling output.
 	LabelResult = label.Result
+	// LabelMethod identifies which labeling stage produced a label.
+	LabelMethod = label.Method
 	// APIServer is the HTTP emulation of the Twitter developer APIs.
 	APIServer = twitterapi.Server
 	// APIClient consumes the emulated Twitter APIs.
@@ -63,7 +68,20 @@ type (
 	Tracer = trace.Tracer
 	// TraceConfig parameterizes a Tracer.
 	TraceConfig = trace.Config
+	// MetricsRegistry aggregates the runtime's instrumentation; mount its
+	// Handler at /metrics.
+	MetricsRegistry = metrics.Registry
+	// CaptureStore is the bounded ring retaining collected captures.
+	CaptureStore = core.CaptureStore
+	// LabelStore is the incremental labeling index behind the streaming
+	// label stage.
+	LabelStore = label.Store
 )
+
+// NewMetricsRegistry creates an isolated metrics registry; pass it through
+// SnifferConfig.Metrics to keep a sniffer's instrumentation off the
+// process-wide default registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // NewTracer creates a pipeline tracer; pass it through SnifferConfig.Tracer
 // and mount its Handler at /debug/traces.
@@ -74,6 +92,12 @@ func NewTracer(cfg TraceConfig) *Tracer { return trace.New(cfg) }
 func NewOnlineDetector(name ClassifierName, window, retrainEvery int, seed int64) (*OnlineDetector, error) {
 	return core.NewOnlineDetector(name, window, retrainEvery, seed)
 }
+
+// Streaming pipeline defaults (see StreamConfig).
+const (
+	DefaultStreamBatchSize     = pipeline.DefaultFlushSize
+	DefaultStreamFlushInterval = pipeline.DefaultFlushInterval
+)
 
 // Classifier family names (the paper's Table IV rows).
 const (
@@ -136,6 +160,24 @@ func (s *Simulation) NewAPIServer(opts ...twitterapi.ServerOption) *APIServer {
 	return twitterapi.NewServer(s.engine, opts...)
 }
 
+// StreamConfig parameterizes the sniffer's staged streaming runtime
+// (DESIGN.md §12). Zero values take the pipeline package defaults.
+type StreamConfig struct {
+	// Enabled runs the sniffer on the stage graph: match → feature →
+	// label → detect, with micro-batching and backpressure. Disabled
+	// (the default) keeps the synchronous batch path.
+	Enabled bool
+	// BatchSize is the micro-batch flush size bound (default 64).
+	BatchSize int
+	// FlushInterval bounds how long a partial batch waits for more
+	// items (default 25ms).
+	FlushInterval time.Duration
+	// QueueDepth bounds each stage's input queue (default 4×BatchSize).
+	// Push blocks while a queue is full, pausing the stream reader —
+	// the backpressure contract.
+	QueueDepth int
+}
+
 // SnifferConfig parameterizes a pseudo-honeypot sniffer.
 type SnifferConfig struct {
 	// Specs is the deployment plan; nil uses StandardSpecs(2).
@@ -152,9 +194,21 @@ type SnifferConfig struct {
 	// (Active-status screening and ratio hygiene). The paper's
 	// "non pseudo-honeypot" baseline selects accounts naively.
 	NaiveSelection bool
+	// CaptureCap bounds how many captures the monitor retains; past the
+	// cap the oldest is evicted (FIFO). Zero keeps everything.
+	CaptureCap int
+	// Stream selects and tunes the staged streaming runtime.
+	Stream StreamConfig
+	// Online, when set with streaming enabled, receives every capture
+	// and its stream-time provisional label from the detect stage,
+	// retraining on its sliding window as the stream drifts.
+	Online *OnlineDetector
 	// Tracer records per-capture pipeline traces through every stage;
 	// nil uses the process-wide trace.Default() (disabled by default).
 	Tracer *Tracer
+	// Metrics receives the sniffer's instrumentation; nil binds the
+	// process-wide metrics.Default() registry.
+	Metrics *MetricsRegistry
 }
 
 // Sniffer is the end-to-end pseudo-honeypot pipeline bound to a
@@ -165,6 +219,13 @@ type Sniffer struct {
 	monitor *core.Monitor
 	cfg     SnifferConfig
 	detach  func()
+
+	// Streaming mode only.
+	runner     *pipeline.Runner
+	ingest     *pipeline.Queue[*core.Capture]
+	labelStore *label.Store
+
+	closeOnce sync.Once
 }
 
 // NewSniffer attaches a sniffer to the simulation. The node set rotates at
@@ -186,6 +247,8 @@ func NewSniffer(sim *Simulation, cfg SnifferConfig) (*Sniffer, error) {
 		Specs:      cfg.Specs,
 		ActiveOnly: true,
 		Seed:       cfg.Seed,
+		CaptureCap: cfg.CaptureCap,
+		Metrics:    cfg.Metrics,
 		Tracer:     cfg.Tracer,
 	}
 	if cfg.NaiveSelection {
@@ -196,12 +259,117 @@ func NewSniffer(sim *Simulation, cfg SnifferConfig) (*Sniffer, error) {
 		World: sim.world,
 		Rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
 	})
-	detach := core.Attach(m, sim.engine)
-	return &Sniffer{sim: sim, monitor: m, cfg: cfg, detach: detach}, nil
+	s := &Sniffer{sim: sim, monitor: m, cfg: cfg}
+	if cfg.Stream.Enabled {
+		s.attachStreaming()
+	} else {
+		s.detach = core.Attach(m, sim.engine)
+	}
+	return s, nil
 }
 
-// Close detaches the sniffer from the simulation's stream.
-func (s *Sniffer) Close() { s.detach() }
+// labeledCapture pairs a capture with its stream-time provisional label on
+// the label→detect queue.
+type labeledCapture struct {
+	c    *core.Capture
+	spam bool
+}
+
+// labelConfig is the labeling configuration shared by the batch oracle and
+// the streaming store — identical by construction so the two paths agree.
+func (s *Sniffer) labelConfig() label.Config {
+	lcfg := label.DefaultConfig()
+	lcfg.Tracer = s.cfg.Tracer
+	return lcfg
+}
+
+// attachStreaming wires the stage graph and subscribes the monitor's match
+// step to the engine. Stage topology (DESIGN.md §12):
+//
+//	engine ─→ match (engine goroutine) ─→ [feature] ─→ [label] ─→ [detect]
+//
+// Match stays on the engine goroutine (it mutates group stats that Rotate
+// reads there); everything downstream runs on stage goroutines against
+// profile snapshots frozen at match time.
+func (s *Sniffer) attachStreaming() {
+	m, cfg := s.monitor, s.cfg
+	runner := pipeline.NewRunner(pipeline.Config{
+		FlushSize:     cfg.Stream.BatchSize,
+		FlushInterval: cfg.Stream.FlushInterval,
+		QueueCap:      cfg.Stream.QueueDepth,
+		Metrics:       cfg.Metrics,
+		Tracer:        cfg.Tracer,
+	})
+	qFeature := pipeline.NewQueue[*core.Capture](runner, "feature")
+	qLabel := pipeline.NewQueue[*core.Capture](runner, "label")
+	qDetect := pipeline.NewQueue[labeledCapture](runner, "detect")
+
+	pipeline.Through(runner, "feature", qFeature, qLabel,
+		func(batch []*core.Capture) []*core.Capture {
+			for _, c := range batch {
+				m.ExtractCapture(c)
+				m.Store().Append(c)
+			}
+			return batch
+		})
+
+	store := label.NewStore(s.labelConfig())
+	pipeline.Through(runner, "label", qLabel, qDetect,
+		func(batch []*core.Capture) []labeledCapture {
+			tweets := make([]*socialnet.Tweet, len(batch))
+			authors := make([]*socialnet.Account, len(batch))
+			profiles := make([]*socialnet.Account, len(batch))
+			for i, c := range batch {
+				tweets[i] = c.Tweet
+				authors[i] = c.Sender
+				profiles[i] = c.SenderSnapshot()
+			}
+			provisional := store.AddBatch(tweets, authors, profiles)
+			out := make([]labeledCapture, len(batch))
+			for i, c := range batch {
+				out[i] = labeledCapture{c: c, spam: provisional[i]}
+			}
+			return out
+		})
+
+	online := cfg.Online
+	pipeline.Sink(runner, "detect", qDetect, func(batch []labeledCapture) {
+		if online == nil {
+			return
+		}
+		for _, lc := range batch {
+			// Errors only surface before the window holds both
+			// classes; the window still fills, so ignore them.
+			_ = online.Observe(lc.c, lc.spam)
+		}
+	})
+	runner.Start()
+
+	world := s.sim.world
+	s.sim.engine.OnHourStart(func(hour int, now time.Time) {
+		m.Rotate(now, time.Hour)
+	})
+	cancel := s.sim.engine.Subscribe(func(t *socialnet.Tweet) {
+		if c := m.Match(t, world.Account); c != nil {
+			// Blocking push is the backpressure contract: a full
+			// feature queue pauses the firehose right here.
+			_ = qFeature.Push(c)
+		}
+	})
+	s.runner, s.ingest, s.labelStore, s.detach = runner, qFeature, store, cancel
+}
+
+// Close detaches the sniffer from the simulation's stream and, in
+// streaming mode, shuts the stage graph down.
+func (s *Sniffer) Close() {
+	s.closeOnce.Do(func() {
+		s.detach()
+		if s.runner != nil {
+			s.ingest.Close()
+			s.runner.Wait()
+		}
+	})
+}
 
 // Monitor exposes the underlying monitor (groups, captures, PGE inputs).
 func (s *Sniffer) Monitor() *Monitor { return s.monitor }
@@ -223,23 +391,33 @@ type DetectionResult struct {
 // DetectAll runs the paper's detection pipeline on everything collected so
 // far: label the corpus (suspended accounts, clustering, rules, simulated
 // manual checking), train the configured classifier, classify all
-// captures, and attribute spam to selector groups.
+// captures, and attribute spam to selector groups. In streaming mode it
+// first drains the stage graph — every streamed tweet is featurized,
+// stored, and indexed before reporting — then snapshots the incremental
+// label store instead of re-clustering from scratch.
 func (s *Sniffer) DetectAll() (*DetectionResult, error) {
+	if s.runner != nil {
+		s.runner.Drain()
+	}
 	captures := s.monitor.Captures()
 	if len(captures) == 0 {
 		return nil, errors.New("pseudohoneypot: nothing captured yet")
 	}
-	tweets := make([]*socialnet.Tweet, len(captures))
-	for i, c := range captures {
-		tweets[i] = c.Tweet
-	}
-	corpus := label.NewCorpus(tweets, s.sim.world.Account)
-	lcfg := label.DefaultConfig()
-	lcfg.Tracer = s.cfg.Tracer
-	pipeline := label.NewPipeline(lcfg)
 	oracle := label.NewNoisyOracle(s.sim.world, s.cfg.ManualLabelErrorRate, s.cfg.Seed+2)
-	labels := pipeline.Run(corpus, oracle)
-	adoptLabelSpans(pipeline.LastTrace(), captures)
+	var labels *label.Result
+	if s.labelStore != nil {
+		labels = s.labelStore.Snapshot(oracle)
+		adoptLabelSpans(s.labelStore.LastTrace(), captures)
+	} else {
+		tweets := make([]*socialnet.Tweet, len(captures))
+		for i, c := range captures {
+			tweets[i] = c.Tweet
+		}
+		corpus := label.NewCorpus(tweets, s.sim.world.Account)
+		lp := label.NewPipeline(s.labelConfig())
+		labels = lp.Run(corpus, oracle)
+		adoptLabelSpans(lp.LastTrace(), captures)
+	}
 
 	clf, err := core.NewClassifier(s.cfg.Classifier, s.cfg.Seed)
 	if err != nil {

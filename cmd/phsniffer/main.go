@@ -8,9 +8,18 @@
 //
 //	phsniffer [-hours 24] [-nodes-per-value 2] [-accounts 6000]
 //	          [-classifier RF] [-seed 1] [-top 10]
+//	          [-stream] [-batch-size 64] [-flush-interval 25ms]
+//	          [-capture-cap 0]
 //	          [-metrics-addr :9331] [-export run.json]
 //	          [-trace-buffer 256] [-slow-span 250ms] [-log-level info]
 //	          [-pprof]
+//
+// With -stream, the sniffer runs on the staged streaming pipeline
+// (match → feature → label → detect) with micro-batching tuned by
+// -batch-size and -flush-interval; queue depth and backpressure appear
+// under ph_pipeline_* on /metrics. Results are identical to the default
+// batch mode at the same seed. -capture-cap bounds retained captures
+// (FIFO eviction past the cap; 0 keeps everything) in either mode.
 //
 // With -metrics-addr, the process serves its live metrics registry at
 // GET /metrics (Prometheus text), GET /healthz, and — when tracing is on —
@@ -67,6 +76,10 @@ func run() error {
 		classifier  = flag.String("classifier", "RF", "detector family: DT, kNN, SVM, EGB, RF")
 		seed        = flag.Int64("seed", 1, "world and selection seed")
 		top         = flag.Int("top", 10, "PGE rows to print")
+		stream      = flag.Bool("stream", false, "run on the staged streaming pipeline instead of batch mode")
+		batchSize   = flag.Int("batch-size", pseudohoneypot.DefaultStreamBatchSize, "streaming micro-batch flush size")
+		flushEvery  = flag.Duration("flush-interval", pseudohoneypot.DefaultStreamFlushInterval, "streaming partial-batch age bound")
+		captureCap  = flag.Int("capture-cap", 0, "max captures retained (FIFO eviction past the cap; 0 = unbounded)")
 		server      = flag.String("server", "", "twitterd base URL for remote monitoring (e.g. http://127.0.0.1:8331)")
 		metricsOn   = flag.String("metrics-addr", "", "serve GET /metrics, /healthz and /debug/traces on this address during the run")
 		export      = flag.String("export", "", "write result tables plus metrics snapshot and trace summary as JSON to this file")
@@ -111,6 +124,12 @@ func run() error {
 		Specs:      pseudohoneypot.StandardSpecs(*perValue),
 		Classifier: pseudohoneypot.ClassifierName(*classifier),
 		Seed:       *seed,
+		CaptureCap: *captureCap,
+		Stream: pseudohoneypot.StreamConfig{
+			Enabled:       *stream,
+			BatchSize:     *batchSize,
+			FlushInterval: *flushEvery,
+		},
 	})
 	if err != nil {
 		return err
@@ -124,7 +143,8 @@ func run() error {
 	}
 	logger.Info("pseudo-honeypot network deployed",
 		"nodes", nodes, "accounts", *accounts, "hours", *hours,
-		"classifier", *classifier, "tracing", tracer.Enabled())
+		"classifier", *classifier, "tracing", tracer.Enabled(),
+		"streaming", *stream, "capture_cap", *captureCap)
 
 	sim.RunHours(*hours)
 	res, err := sniffer.DetectAll()

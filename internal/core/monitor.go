@@ -61,6 +61,11 @@ type MonitorConfig struct {
 	// Seed drives selection sampling.
 	Seed int64
 
+	// CaptureCap bounds the capture store: past the cap the oldest capture
+	// is evicted deterministically (FIFO). Zero keeps everything — the
+	// batch seed behaviour.
+	CaptureCap int
+
 	// Metrics receives the monitor's instrumentation (DESIGN.md §9).
 	// Nil binds to the process-wide metrics.Default() registry.
 	Metrics *metrics.Registry
@@ -107,7 +112,20 @@ type Capture struct {
 	// Batch stages (labeling, classification) append spans after the
 	// capture itself finished.
 	Trace *trace.Trace
+
+	// senderSnap/receiverSnap are profile copies taken on the engine
+	// goroutine at match time. Feature extraction reads them instead of
+	// the live accounts, so a deferred (streaming-stage) extraction sees
+	// exactly the field values a synchronous batch extraction saw — the
+	// engine keeps mutating the live profiles underneath.
+	senderSnap   *socialnet.Account
+	receiverSnap *socialnet.Account
 }
+
+// SenderSnapshot returns the author profile frozen at match time (nil on
+// lookup misses). Streaming stages read it where the live Sender pointer
+// would race with the engine mutating the account.
+func (c *Capture) SenderSnapshot() *socialnet.Account { return c.senderSnap }
 
 // DefaultMaxRatio is the default selection-hygiene bound on candidates'
 // friend/follower ratio.
@@ -129,11 +147,13 @@ type Monitor struct {
 	used map[socialnet.AccountID]struct{}
 
 	extractor *features.Extractor
-	captures  []*Capture
+	store     *CaptureStore
 
-	// scratchGroups and scratchAttrs are reused across OnTweet calls so
-	// the hot stream path allocates nothing on a miss and only the
-	// retained Capture fields on a hit.
+	// scratchGroups is reused across Match calls so the hot stream path
+	// allocates nothing on a miss; scratchAttrs is reused across
+	// ExtractCapture calls. In streaming mode Match runs on the engine
+	// goroutine and ExtractCapture on the feature stage goroutine, so the
+	// two scratch slices must never be touched by the other method.
 	scratchGroups []int
 	scratchAttrs  []string
 
@@ -163,6 +183,7 @@ func NewMonitor(cfg MonitorConfig, screener Screener) *Monitor {
 	if reg == nil {
 		reg = metrics.Default()
 	}
+	m.store = NewCaptureStore(cfg.CaptureCap, reg)
 	m.ins = newMonitorInstruments(reg, m.groups)
 	m.tracer = cfg.Tracer
 	if m.tracer == nil {
@@ -178,8 +199,15 @@ func (m *Monitor) Extractor() *features.Extractor { return m.extractor }
 // Groups returns the per-selector statistics (shared, live values).
 func (m *Monitor) Groups() []*GroupStats { return m.groups }
 
-// Captures returns the collected observations (shared slice).
-func (m *Monitor) Captures() []*Capture { return m.captures }
+// Captures returns the retained observations, oldest first, in a freshly
+// allocated slice. Callers may reorder or truncate the slice freely; the
+// *Capture elements themselves stay shared with the monitor, matching the
+// live-trace and verdict-attribution contracts.
+func (m *Monitor) Captures() []*Capture { return m.store.Snapshot() }
+
+// Store exposes the bounded capture store (eviction stats, spill
+// snapshot/restore).
+func (m *Monitor) Store() *CaptureStore { return m.store }
 
 // Rotations returns how many times the node set was (re)selected.
 func (m *Monitor) Rotations() int { return m.rotations }
@@ -275,7 +303,26 @@ func (m *Monitor) AccrueHours(period time.Duration) {
 // resolves account profiles (world lookup in-process, REST lookup over the
 // API). Tweets are captured when they mention a current node or are
 // authored by one (the paper's Categories (1)–(3)).
+//
+// OnTweet is the synchronous batch path: match, extract, and retain in one
+// call. The streaming pipeline calls the same three steps itself — Match
+// on the engine goroutine, ExtractCapture + Store().Append on the feature
+// stage — so both modes run identical code in identical order.
 func (m *Monitor) OnTweet(t *socialnet.Tweet, lookup func(socialnet.AccountID) *socialnet.Account) {
+	c := m.Match(t, lookup)
+	if c == nil {
+		return
+	}
+	m.ExtractCapture(c)
+	m.store.Append(c)
+}
+
+// Match is the ingest stage: it runs the mention filter, does the
+// per-group attribution bookkeeping, and snapshots the sender/receiver
+// profiles for deferred extraction. It returns nil on a miss. Match must
+// run on the stream (engine) goroutine — it reads the live node set and
+// copies live profiles.
+func (m *Monitor) Match(t *socialnet.Tweet, lookup func(socialnet.AccountID) *socialnet.Account) *Capture {
 	// The vast majority of stream tweets miss the node set: collect the
 	// matched group indices into a reused scratch slice so the miss path
 	// allocates nothing.
@@ -294,7 +341,7 @@ func (m *Monitor) OnTweet(t *socialnet.Tweet, lookup func(socialnet.AccountID) *
 	}
 	if len(scratch) == 0 {
 		m.scratchGroups = scratch
-		return
+		return nil
 	}
 	// Deterministic group order (the former set was map-ordered).
 	sort.Ints(scratch)
@@ -307,40 +354,60 @@ func (m *Monitor) OnTweet(t *socialnet.Tweet, lookup func(socialnet.AccountID) *
 	sender := lookup(t.AuthorID)
 	groups := make([]int, len(scratch))
 	copy(groups, scratch)
-	attrKeys := m.scratchAttrs[:0]
 	for _, gi := range groups {
 		g := m.groups[gi]
 		g.Tweets++
 		g.Senders[t.AuthorID] = struct{}{}
 		m.ins.groupTweets[gi].Inc()
-		attrKeys = append(attrKeys, g.Spec.Selector.Attr.Key())
 	}
 	m.ins.tweetsCaptured.Inc()
-
-	vec := m.extractor.Extract(features.Observation{
-		Tweet:    t,
-		Sender:   sender,
-		Receiver: receiver,
-		AttrKeys: attrKeys,
-		Trace:    tr,
-	})
 	m.scratchGroups = scratch[:0]
-	m.scratchAttrs = attrKeys[:0]
-	m.captures = append(m.captures, &Capture{
+
+	c := &Capture{
 		Tweet:    t,
 		Sender:   sender,
 		Receiver: receiver,
 		Groups:   groups,
-		Vector:   vec,
 		Trace:    tr,
-	})
+	}
+	// Profile snapshots for deferred extraction: copied here, on the
+	// engine goroutine, so they freeze the exact values a synchronous
+	// extraction would read.
+	if sender != nil {
+		snap := *sender
+		c.senderSnap = &snap
+	}
+	if receiver != nil {
+		snap := *receiver
+		c.receiverSnap = &snap
+	}
 	sp.End()
 	if tr != nil {
 		tr.SetAttr("tweet", strconv.FormatInt(int64(t.ID), 10))
 		tr.SetAttr("sender", strconv.FormatInt(int64(t.AuthorID), 10))
 		tr.SetAttr("groups", strconv.Itoa(len(groups)))
 	}
-	tr.Finish()
+	return c
+}
+
+// ExtractCapture is the feature stage: it extracts the 58-feature vector
+// from the capture's profile snapshots and finishes the capture trace.
+// The extractor folds per-account history, so ExtractCapture must see
+// captures in stream order — one goroutine, FIFO.
+func (m *Monitor) ExtractCapture(c *Capture) {
+	attrKeys := m.scratchAttrs[:0]
+	for _, gi := range c.Groups {
+		attrKeys = append(attrKeys, m.groups[gi].Spec.Selector.Attr.Key())
+	}
+	c.Vector = m.extractor.Extract(features.Observation{
+		Tweet:    c.Tweet,
+		Sender:   c.senderSnap,
+		Receiver: c.receiverSnap,
+		AttrKeys: attrKeys,
+		Trace:    c.Trace,
+	})
+	m.scratchAttrs = attrKeys[:0]
+	c.Trace.Finish()
 }
 
 // appendUnique appends the group indices from gis not already in dst.
@@ -380,20 +447,21 @@ func (m *Monitor) AttributeSpam(verdicts []bool) {
 		}
 		tr.Finish()
 	}()
-	for i, c := range m.captures {
+	m.store.Range(func(i int, c *Capture) bool {
 		if i >= len(verdicts) {
-			break
+			return false
 		}
 		c.Spam = verdicts[i]
 		if !c.Spam || c.Receiver == nil {
-			continue
+			return true
 		}
 		for _, gi := range c.Groups {
 			g := m.groups[gi]
 			g.Spams++
 			g.Spammers[c.Tweet.AuthorID] = struct{}{}
 		}
-	}
+		return true
+	})
 	for gi, g := range m.groups {
 		m.ins.updateGroup(gi, g)
 		if g.Tweets == 0 {

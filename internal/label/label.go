@@ -214,9 +214,10 @@ type Pipeline struct {
 	tr *trace.Trace
 }
 
-// NewPipeline creates a pipeline with cfg (zero-value fields fall back to
-// DefaultConfig values).
-func NewPipeline(cfg Config) *Pipeline {
+// withDefaults fills zero-value fields from DefaultConfig. NewPipeline and
+// NewStore share it so the batch oracle and the incremental store always
+// agree on thresholds.
+func (cfg Config) withDefaults() Config {
 	def := DefaultConfig()
 	if cfg.ImageHammingThreshold <= 0 {
 		cfg.ImageHammingThreshold = def.ImageHammingThreshold
@@ -239,6 +240,13 @@ func NewPipeline(cfg Config) *Pipeline {
 	if cfg.RepeatThreshold <= 0 {
 		cfg.RepeatThreshold = def.RepeatThreshold
 	}
+	return cfg
+}
+
+// NewPipeline creates a pipeline with cfg (zero-value fields fall back to
+// DefaultConfig values).
+func NewPipeline(cfg Config) *Pipeline {
+	cfg = cfg.withDefaults()
 	tracer := cfg.Tracer
 	if tracer == nil {
 		tracer = trace.Default()
@@ -259,6 +267,30 @@ func (p *Pipeline) LastTrace() *trace.Trace { return p.tr }
 // Run labels the corpus: suspended accounts, clustering, rules, then
 // manual checking against the oracle.
 func (p *Pipeline) Run(c *Corpus, oracle Oracle) *Result {
+	return p.run(c, oracle, func(c *Corpus) ([][]socialnet.AccountID, [][]*socialnet.Tweet) {
+		// The user and tweet clusterings are independent of each other,
+		// so they run concurrently; their deterministically ordered
+		// output feeds the sequential propagation.
+		var userGroups [][]socialnet.AccountID
+		var tweetGroups [][]*socialnet.Tweet
+		parallel.ForEach(2, p.cfg.Workers, func(i int) {
+			if i == 0 {
+				userGroups = p.clusterUsers(c)
+			} else {
+				tweetGroups = p.clusterTweets(c)
+			}
+		})
+		return userGroups, tweetGroups
+	})
+}
+
+// run is the stage skeleton shared by the batch path (Run, which clusters
+// the corpus from scratch) and the incremental store (Store.Snapshot,
+// which materializes groups from its persistent indices): suspended →
+// cluster propagation → rules → manual, one trace span per pass. Both
+// paths produce identical Results on the same stream because the cluster
+// callbacks produce identical group lists (see DESIGN.md §12).
+func (p *Pipeline) run(c *Corpus, oracle Oracle, cluster func(*Corpus) ([][]socialnet.AccountID, [][]*socialnet.Tweet)) *Result {
 	r := &Result{
 		SpamTweets: make(map[socialnet.TweetID]Method),
 		HamTweets:  make(map[socialnet.TweetID]Method),
@@ -277,7 +309,8 @@ func (p *Pipeline) Run(c *Corpus, oracle Oracle) *Result {
 		sp.End()
 	}
 	pass("label_suspended", func() { p.labelSuspended(c, r) })
-	p.labelClustering(c, r)
+	userGroups, tweetGroups := cluster(c)
+	p.propagate(r, userGroups, tweetGroups)
 	pass("label_rules", func() { p.labelRules(c, r) })
 	pass("label_manual", func() { p.manualCheck(c, r, oracle) })
 	p.tr.Finish()
@@ -300,25 +333,11 @@ func (p *Pipeline) labelSuspended(c *Corpus, r *Result) {
 	}
 }
 
-// labelClustering groups users by profile image, screen-name shape, and
-// description, groups tweets by near-duplicate content, and propagates
-// spammer labels through the groups (paper §IV-B, clustering method).
-// The user and tweet clusterings are independent of each other and of the
-// Result, so they run concurrently; the propagation below stays
-// sequential over their deterministically ordered output.
-func (p *Pipeline) labelClustering(c *Corpus, r *Result) {
-	var userGroups [][]socialnet.AccountID
-	var tweetGroups [][]*socialnet.Tweet
-	parallel.ForEach(2, p.cfg.Workers, func(i int) {
-		if i == 0 {
-			userGroups = p.clusterUsers(c)
-		} else {
-			tweetGroups = p.clusterTweets(c)
-		}
-	})
-
-	// Propagate to fixpoint so the result is independent of group order:
-	// tweet groups feed user groups and back until nothing changes.
+// propagate spreads spammer labels through the user and tweet groups
+// (paper §IV-B, clustering method) to a fixpoint, so the result is
+// independent of group order: tweet groups feed user groups and back until
+// nothing changes.
+func (p *Pipeline) propagate(r *Result, userGroups [][]socialnet.AccountID, tweetGroups [][]*socialnet.Tweet) {
 	for {
 		changed := false
 		for _, group := range userGroups {
@@ -371,14 +390,36 @@ func (p *Pipeline) labelClustering(c *Corpus, r *Result) {
 	}
 }
 
-// sortedUserIDs returns the corpus user ids in ascending order, so every
-// clustering pass is deterministic regardless of map iteration order.
-func sortedUserIDs(c *Corpus) []socialnet.AccountID {
+// corpusUserIDs returns the corpus users in first-appearance (stream)
+// order: the order in which each author's first tweet occurs in
+// c.Tweets. This ordering is deterministic regardless of map iteration
+// order, and — critically — it is the insertion order the incremental
+// label store sees when it is fed the same stream one tweet at a time, so
+// the order-sensitive image Grouper partitions identically on both paths.
+// Users present in c.Users but absent from c.Tweets (hand-built corpora)
+// follow in ascending id order.
+func corpusUserIDs(c *Corpus) []socialnet.AccountID {
 	ids := make([]socialnet.AccountID, 0, len(c.Users))
-	for id := range c.Users {
-		ids = append(ids, id)
+	seen := make(map[socialnet.AccountID]struct{}, len(c.Users))
+	for _, t := range c.Tweets {
+		if _, dup := seen[t.AuthorID]; dup {
+			continue
+		}
+		seen[t.AuthorID] = struct{}{}
+		if _, ok := c.Users[t.AuthorID]; ok {
+			ids = append(ids, t.AuthorID)
+		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) < len(c.Users) {
+		rest := make([]socialnet.AccountID, 0, len(c.Users)-len(ids))
+		for id := range c.Users {
+			if _, ok := seen[id]; !ok {
+				rest = append(rest, id)
+			}
+		}
+		sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+		ids = append(ids, rest...)
+	}
 	return ids
 }
 
@@ -387,7 +428,7 @@ func sortedUserIDs(c *Corpus) []socialnet.AccountID {
 // and run concurrently; their groups concatenate in a fixed pass order so
 // the result is identical at any worker count.
 func (p *Pipeline) clusterUsers(c *Corpus) [][]socialnet.AccountID {
-	ids := sortedUserIDs(c)
+	ids := corpusUserIDs(c)
 	passes := make([][][]socialnet.AccountID, 3)
 	parallel.ForEach(len(passes), p.cfg.Workers, func(pass int) {
 		switch pass {
@@ -523,25 +564,51 @@ func (p *Pipeline) clusterTweets(c *Corpus) [][]*socialnet.Tweet {
 		if len(g) < 2 {
 			continue
 		}
-		// Enforce the 1-day window: split the group into time buckets,
-		// merged in bucket order so the group list is deterministic.
-		byWindow := make(map[int64][]*socialnet.Tweet)
-		var bucketOrder []int64
-		for _, idx := range g {
-			t := pool[idx]
-			bucket := t.CreatedAt.UnixNano() / int64(p.cfg.TweetWindow)
-			if len(byWindow[bucket]) == 0 {
-				bucketOrder = append(bucketOrder, bucket)
-			}
-			byWindow[bucket] = append(byWindow[bucket], t)
+		members := make([]*socialnet.Tweet, len(g))
+		for i, idx := range g {
+			members[i] = pool[idx]
 		}
-		for _, bucket := range bucketOrder {
-			if tg := byWindow[bucket]; len(tg) >= 2 {
-				groups = append(groups, tg)
-			}
+		groups = append(groups, splitByWindow(members, p.cfg.TweetWindow)...)
+	}
+	return groups
+}
+
+// splitByWindow enforces the near-duplicate time window: it splits a
+// candidate group into time buckets — merged in bucket first-appearance
+// order so the group list is deterministic — and keeps buckets with at
+// least two members.
+func splitByWindow(members []*socialnet.Tweet, window time.Duration) [][]*socialnet.Tweet {
+	byWindow := make(map[int64][]*socialnet.Tweet)
+	var bucketOrder []int64
+	for _, t := range members {
+		bucket := t.CreatedAt.UnixNano() / int64(window)
+		if len(byWindow[bucket]) == 0 {
+			bucketOrder = append(bucketOrder, bucket)
+		}
+		byWindow[bucket] = append(byWindow[bucket], t)
+	}
+	var groups [][]*socialnet.Tweet
+	for _, bucket := range bucketOrder {
+		if tg := byWindow[bucket]; len(tg) >= 2 {
+			groups = append(groups, tg)
 		}
 	}
 	return groups
+}
+
+// lshBands/lshRows shape the MinHash banding index: 16 bands × 4 rows over
+// a 64-permutation signature. clusterTexts (batch) and Store (incremental)
+// must share them — the banding candidate sets define which pairs are even
+// considered for similarity confirmation.
+const (
+	lshBands = 16
+	lshRows  = 4
+)
+
+// newLSHScheme builds the seeded 64-permutation MinHash scheme both paths
+// sign texts with.
+func newLSHScheme(seed int64) *minhash.Scheme {
+	return minhash.NewScheme(lshBands*lshRows, rand.New(rand.NewSource(seed)))
 }
 
 // clusterTexts groups near-duplicate texts via MinHash banding + union-find
@@ -558,16 +625,12 @@ func clusterTexts(texts []string, simThreshold float64, seed int64, workers int)
 	if len(texts) == 0 {
 		return nil
 	}
-	const (
-		bands = 16
-		rows  = 4
-	)
-	scheme := minhash.NewScheme(bands*rows, rand.New(rand.NewSource(seed)))
+	scheme := newLSHScheme(seed)
 	sigs := parallel.Map(len(texts), workers, func(i int) minhash.Signature {
 		return scheme.Sign(textutil.Shingles(texts[i], 3))
 	})
 
-	index := minhash.NewIndex(bands, rows)
+	index := minhash.NewIndex(lshBands, lshRows)
 	for _, sig := range sigs {
 		index.Add(sig)
 	}

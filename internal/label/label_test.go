@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/parallel"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/simclock"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
 )
@@ -239,7 +240,16 @@ func TestClusteringPropagatesThroughCampaign(t *testing.T) {
 		Benign:     make(map[socialnet.AccountID]Method),
 	}
 	p.labelSuspended(c, r)
-	p.labelClustering(c, r)
+	var userGroups [][]socialnet.AccountID
+	var tweetGroups [][]*socialnet.Tweet
+	parallel.ForEach(2, p.cfg.Workers, func(i int) {
+		if i == 0 {
+			userGroups = p.clusterUsers(c)
+		} else {
+			tweetGroups = p.clusterTweets(c)
+		}
+	})
+	p.propagate(r, userGroups, tweetGroups)
 
 	labeled := 0
 	for _, id := range campaign.MemberIDs {

@@ -1,0 +1,411 @@
+package label
+
+import (
+	"sync"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/imagehash"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/minhash"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/parallel"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/textutil"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
+)
+
+// Store is the incremental labeling state behind the streaming pipeline's
+// label stage (DESIGN.md §12). Where the batch Pipeline reclusters the
+// whole corpus on every Run, the Store keeps the cluster indices alive —
+// the image-dHash grouper, the Σ-Seq name classes, and the MinHash banding
+// indices (plus union-find) for descriptions and near-duplicate tweets —
+// so ingesting a capture costs ~O(cluster lookup): one grouper probe, one
+// map insert, and two LSH band probes, instead of a full recluster.
+//
+// Snapshot then materializes groups from the live indices and runs the
+// batch pipeline's own propagation/rules/manual passes over them, so on
+// any stream Snapshot's Result is identical to Pipeline.Run over the
+// equivalent corpus — the full-batch path stays the correctness oracle,
+// and the equivalence is pinned by TestStoreMatchesBatchOracle.
+//
+// The determinism hinges on insertion order: the image Grouper assigns a
+// hash to the lowest-numbered group within threshold, so its partition
+// depends on the order hashes arrive. Both paths therefore use the same
+// order — author first-appearance in stream order (see corpusUserIDs).
+//
+// A Store is safe for one writer (the label stage goroutine) plus
+// Snapshot/Len from any goroutine; all methods take the store mutex.
+type Store struct {
+	mu  sync.Mutex
+	cfg Config
+
+	// Stream mirror: the corpus Snapshot rebuilds.
+	tweets    []*socialnet.Tweet
+	users     map[socialnet.AccountID]*socialnet.Account
+	userOrder []socialnet.AccountID
+
+	// Profile-image clustering: persistent dHash grouper.
+	img        *imagehash.Grouper
+	imgMembers map[int][]socialnet.AccountID
+	imgOrder   []int
+
+	// Screen-name clustering: Σ-Seq class members.
+	nameMembers map[string][]socialnet.AccountID
+	nameOrder   []string
+
+	// Description near-duplicates: persistent MinHash banding + union-find.
+	descScheme *minhash.Scheme
+	descIndex  *minhash.Index
+	descIDs    []socialnet.AccountID
+	descUF     *unionFind
+
+	// Tweet near-duplicates: persistent MinHash banding + union-find.
+	twScheme *minhash.Scheme
+	twIndex  *minhash.Index
+	twPool   []*socialnet.Tweet
+	twUF     *unionFind
+
+	// Rule state for provisional labels.
+	repeats map[string]int
+
+	lastTrace *trace.Trace
+}
+
+// NewStore creates an incremental label store (zero-value cfg fields fall
+// back to DefaultConfig values, exactly as NewPipeline's do).
+func NewStore(cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	s := &Store{
+		cfg:         cfg,
+		users:       make(map[socialnet.AccountID]*socialnet.Account),
+		img:         imagehash.NewGrouper(cfg.ImageHammingThreshold),
+		imgMembers:  make(map[int][]socialnet.AccountID),
+		nameMembers: make(map[string][]socialnet.AccountID),
+		descScheme:  newLSHScheme(cfg.Seed),
+		descIndex:   minhash.NewIndex(lshBands, lshRows),
+		descUF:      &unionFind{},
+		twScheme:    newLSHScheme(cfg.Seed + 1),
+		twIndex:     minhash.NewIndex(lshBands, lshRows),
+		twUF:        &unionFind{},
+		repeats:     make(map[string]int),
+	}
+	s.img.SetWorkers(cfg.Workers)
+	return s
+}
+
+// tweetPrep is the precomputed (parallelizable) part of one tweet add.
+type tweetPrep struct {
+	norm string
+	sig  minhash.Signature // nil below MinTweetLen
+}
+
+// userPrep is the precomputed part of one first-appearance user add.
+type userPrep struct {
+	batchIdx int // index in the batch of the author's first tweet
+	user     *socialnet.Account
+	nameSeq  string
+	descNorm string
+	descSig  minhash.Signature // nil when descNorm == ""
+}
+
+// Add ingests one capture: t joins the live cluster indices, and — on the
+// author's first appearance — so does the author's profile. author is the
+// live account retained for the snapshot corpus (exactly what the batch
+// path's lookup resolves); profile is the capture-time profile snapshot
+// the index insertions and the provisional check read, so Add never races
+// with the engine mutating the live account. profile may equal author
+// when the caller is single-threaded with the stream (batch tests).
+//
+// The returned provisional flag is the stream-time spam estimate feeding
+// the online detector: platform-suspended author or a rule hit against
+// the rule state so far. It is advisory — Snapshot recomputes real labels.
+func (s *Store) Add(t *socialnet.Tweet, author, profile *socialnet.Account) bool {
+	return s.AddBatch([]*socialnet.Tweet{t},
+		[]*socialnet.Account{author}, []*socialnet.Account{profile})[0]
+}
+
+// AddBatch ingests one micro-batch in stream order, fanning the pure
+// per-item work (normalization, shingling, MinHash signing, Σ-Seq
+// computation) over the shared worker pool before applying the stateful
+// index joins sequentially. Results are bit-identical to item-by-item Add
+// at any worker count.
+func (s *Store) AddBatch(tweets []*socialnet.Tweet, authors, profiles []*socialnet.Account) []bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// First-appearance users in this batch, in batch order.
+	var newUsers []userPrep
+	queued := make(map[socialnet.AccountID]struct{})
+	for i := range tweets {
+		author := authors[i]
+		if author == nil {
+			continue
+		}
+		if _, ok := s.users[author.ID]; ok {
+			continue
+		}
+		if _, ok := queued[author.ID]; ok {
+			continue
+		}
+		queued[author.ID] = struct{}{}
+		profile := profiles[i]
+		if profile == nil {
+			profile = author
+		}
+		newUsers = append(newUsers, userPrep{batchIdx: i, user: author,
+			nameSeq: profile.ScreenName, descNorm: profile.Description})
+	}
+
+	// Pure precompute, fanned over the worker pool. The fields were
+	// seeded with the raw strings above; Map replaces them in place.
+	preppedUsers := parallel.Map(len(newUsers), s.cfg.Workers, func(i int) userPrep {
+		up := newUsers[i]
+		up.nameSeq = textutil.ClassSeqWithRunLengths(up.nameSeq)
+		up.descNorm = textutil.NormalizeDescription(up.descNorm)
+		if up.descNorm != "" {
+			up.descSig = s.descScheme.Sign(textutil.Shingles(up.descNorm, 3))
+		}
+		return up
+	})
+	preps := parallel.Map(len(tweets), s.cfg.Workers, func(i int) tweetPrep {
+		p := tweetPrep{norm: normalizedKey(tweets[i])}
+		if len(p.norm) >= s.cfg.MinTweetLen {
+			p.sig = s.twScheme.Sign(textutil.Shingles(p.norm, 3))
+		}
+		return p
+	})
+
+	// Sequential joins, in stream order. User joins and tweet joins hit
+	// disjoint indices, so applying all of the batch's first-appearance
+	// users first preserves the global author-first-appearance sequence.
+	for _, up := range preppedUsers {
+		s.addUserLocked(up)
+	}
+	spam := make([]bool, len(tweets))
+	for i, t := range tweets {
+		profile := profiles[i]
+		if profile == nil {
+			profile = authors[i]
+		}
+		spam[i] = s.addTweetLocked(t, profile, preps[i])
+	}
+	return spam
+}
+
+// addUserLocked joins one first-appearance user into the profile indices.
+func (s *Store) addUserLocked(up userPrep) {
+	u := up.user
+	s.users[u.ID] = u
+	s.userOrder = append(s.userOrder, u.ID)
+
+	// Image: the grouper assigns the lowest matching group id — the same
+	// call, in the same global order, as the batch pass.
+	if !u.DefaultProfileImage {
+		g := s.img.Add(u.ProfileImageHash)
+		if len(s.imgMembers[g]) == 0 {
+			s.imgOrder = append(s.imgOrder, g)
+		}
+		s.imgMembers[g] = append(s.imgMembers[g], u.ID)
+	}
+
+	// Name: Σ-Seq class membership.
+	if len(s.nameMembers[up.nameSeq]) == 0 {
+		s.nameOrder = append(s.nameOrder, up.nameSeq)
+	}
+	s.nameMembers[up.nameSeq] = append(s.nameMembers[up.nameSeq], u.ID)
+
+	// Description: banding probe against all prior descriptions, then
+	// join the index. Probing before Add excludes self-candidates and
+	// reproduces the batch pair set {(i,j): j<i, shared band, sim ≥ τ}.
+	if up.descSig != nil {
+		idx := s.descUF.add()
+		for _, cand := range s.descIndex.Candidates(up.descSig) {
+			if minhash.Similarity(up.descSig, s.descIndex.Signature(cand)) >= s.cfg.DescSimilarity {
+				s.descUF.union(idx, cand)
+			}
+		}
+		s.descIndex.Add(up.descSig)
+		s.descIDs = append(s.descIDs, u.ID)
+	}
+}
+
+// addTweetLocked joins one tweet into the stream mirror, the near-duplicate
+// index, and the rule state, returning the provisional spam flag.
+func (s *Store) addTweetLocked(t *socialnet.Tweet, profile *socialnet.Account, p tweetPrep) bool {
+	s.tweets = append(s.tweets, t)
+	s.repeats[p.norm]++
+	if p.sig != nil {
+		idx := s.twUF.add()
+		for _, cand := range s.twIndex.Candidates(p.sig) {
+			if minhash.Similarity(p.sig, s.twIndex.Signature(cand)) >= s.cfg.TweetSimilarity {
+				s.twUF.union(idx, cand)
+			}
+		}
+		s.twIndex.Add(p.sig)
+		s.twPool = append(s.twPool, t)
+	}
+	if profile != nil && profile.Suspended {
+		return true
+	}
+	return ruleSpam(t, s.repeats, s.cfg.RepeatThreshold)
+}
+
+// Len reports the ingested stream size: tweets and distinct users.
+func (s *Store) Len() (tweets, users int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tweets), len(s.users)
+}
+
+// Snapshot labels everything ingested so far: it rebuilds the corpus from
+// the stream mirror, materializes cluster groups from the live indices,
+// and runs the batch pipeline's propagation, rule, and manual passes over
+// them with a fresh Pipeline (fresh manual-stage rng seeded cfg.Seed, same
+// as a batch Run). The store stays usable afterwards — streaming resumes
+// and later Snapshots see the longer stream.
+func (s *Store) Snapshot(oracle Oracle) *Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := &Corpus{
+		Tweets: append([]*socialnet.Tweet(nil), s.tweets...),
+		Users:  make(map[socialnet.AccountID]*socialnet.Account, len(s.users)),
+	}
+	for id, u := range s.users {
+		c.Users[id] = u
+	}
+	p := NewPipeline(s.cfg)
+	r := p.run(c, oracle, func(*Corpus) ([][]socialnet.AccountID, [][]*socialnet.Tweet) {
+		var userGroups [][]socialnet.AccountID
+		for _, fn := range []func() [][]socialnet.AccountID{
+			func() [][]socialnet.AccountID { defer p.tr.StartSpan("label_cluster_image").End(); return s.imageGroupsLocked() },
+			func() [][]socialnet.AccountID { defer p.tr.StartSpan("label_cluster_name").End(); return s.nameGroupsLocked() },
+			func() [][]socialnet.AccountID {
+				defer p.tr.StartSpan("label_cluster_description").End()
+				return s.descGroupsLocked()
+			},
+		} {
+			userGroups = append(userGroups, fn()...)
+		}
+		defer p.tr.StartSpan("label_cluster_tweets").End()
+		return userGroups, s.tweetGroupsLocked()
+	})
+	s.lastTrace = p.LastTrace()
+	return r
+}
+
+// LastTrace returns the trace of the most recent Snapshot (nil when
+// tracing is off), mirroring Pipeline.LastTrace.
+func (s *Store) LastTrace() *trace.Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastTrace
+}
+
+// imageGroupsLocked materializes image groups (≥2 members) in group
+// first-appearance order — the order clusterByImage emits.
+func (s *Store) imageGroupsLocked() [][]socialnet.AccountID {
+	var groups [][]socialnet.AccountID
+	for _, gi := range s.imgOrder {
+		if g := s.imgMembers[gi]; len(g) >= 2 {
+			groups = append(groups, g)
+		}
+	}
+	return groups
+}
+
+// nameGroupsLocked materializes Σ-Seq groups with clusterByName's
+// snapshot-time hygiene filters: size within [NameGroupMin, maxNameGroup]
+// and at least two character classes.
+func (s *Store) nameGroupsLocked() [][]socialnet.AccountID {
+	maxNameGroup := len(s.users) / 50
+	if maxNameGroup < 2*s.cfg.NameGroupMin {
+		maxNameGroup = 2 * s.cfg.NameGroupMin
+	}
+	var groups [][]socialnet.AccountID
+	for _, seq := range s.nameOrder {
+		g := s.nameMembers[seq]
+		if len(g) < s.cfg.NameGroupMin || len(g) > maxNameGroup {
+			continue
+		}
+		if classCount(seq) < 2 {
+			continue
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// descGroupsLocked materializes description partitions (≥2 members) from
+// the union-find, in root first-appearance order with members in
+// insertion order — exactly clusterTexts' group shape.
+func (s *Store) descGroupsLocked() [][]socialnet.AccountID {
+	var groups [][]socialnet.AccountID
+	for _, part := range s.descUF.partitions() {
+		if len(part) < 2 {
+			continue
+		}
+		group := make([]socialnet.AccountID, len(part))
+		for i, idx := range part {
+			group[i] = s.descIDs[idx]
+		}
+		groups = append(groups, group)
+	}
+	return groups
+}
+
+// tweetGroupsLocked materializes near-duplicate tweet groups from the
+// union-find, split into time-window buckets like clusterTweets.
+func (s *Store) tweetGroupsLocked() [][]*socialnet.Tweet {
+	var groups [][]*socialnet.Tweet
+	for _, part := range s.twUF.partitions() {
+		if len(part) < 2 {
+			continue
+		}
+		members := make([]*socialnet.Tweet, len(part))
+		for i, idx := range part {
+			members[i] = s.twPool[idx]
+		}
+		groups = append(groups, splitByWindow(members, s.cfg.TweetWindow)...)
+	}
+	return groups
+}
+
+// unionFind is a grow-only disjoint-set over [0, n) with path compression.
+type unionFind struct {
+	parent []int
+}
+
+// add appends a fresh singleton and returns its index.
+func (u *unionFind) add() int {
+	idx := len(u.parent)
+	u.parent = append(u.parent, idx)
+	return idx
+}
+
+func (u *unionFind) find(x int) int {
+	if u.parent[x] != x {
+		u.parent[x] = u.find(u.parent[x])
+	}
+	return u.parent[x]
+}
+
+func (u *unionFind) union(a, b int) {
+	u.parent[u.find(a)] = u.find(b)
+}
+
+// partitions returns every component's member indices in ascending order,
+// components ordered by first-appearing member — the same shape
+// clusterTexts' root-first-appearance grouping produces.
+func (u *unionFind) partitions() [][]int {
+	byRoot := make(map[int][]int)
+	var rootOrder []int
+	for i := range u.parent {
+		root := u.find(i)
+		if len(byRoot[root]) == 0 {
+			rootOrder = append(rootOrder, root)
+		}
+		byRoot[root] = append(byRoot[root], i)
+	}
+	parts := make([][]int, 0, len(byRoot))
+	for _, root := range rootOrder {
+		parts = append(parts, byRoot[root])
+	}
+	return parts
+}

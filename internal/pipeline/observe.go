@@ -1,0 +1,31 @@
+package pipeline
+
+import (
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
+)
+
+// instruments is the runtime's view of the metrics registry. Vec children
+// are resolved once per queue/stage at construction, so the streaming hot
+// path pays one atomic op per push, never a label lookup.
+type instruments struct {
+	depth        *metrics.GaugeVec
+	backpressure *metrics.CounterVec
+	batches      *metrics.CounterVec
+	items        *metrics.CounterVec
+	flushSecs    *metrics.HistogramVec
+}
+
+func newInstruments(r *metrics.Registry) *instruments {
+	return &instruments{
+		depth: r.GaugeVec("ph_pipeline_queue_depth",
+			"Items buffered in a stage's input queue.", "stage"),
+		backpressure: r.CounterVec("ph_pipeline_backpressure_total",
+			"Pushes that found the stage's input queue full and had to block.", "stage"),
+		batches: r.CounterVec("ph_pipeline_batches_total",
+			"Micro-batches flushed through a stage.", "stage"),
+		items: r.CounterVec("ph_pipeline_items_total",
+			"Items processed by a stage across all micro-batches.", "stage"),
+		flushSecs: r.HistogramVec("ph_pipeline_flush_seconds",
+			"Wall-clock latency of one micro-batch flush through a stage.", nil, "stage"),
+	}
+}

@@ -1,0 +1,335 @@
+// Package pipeline is the staged streaming runtime the sniffer runs on
+// (DESIGN.md §12): typed bounded queues chained through micro-batching
+// stages, with backpressure that propagates upstream to the stream reader
+// and drain/close semantics for end-of-run reporting.
+//
+// A stage is one goroutine consuming its input queue in FIFO order, so a
+// chain of stages processes every item in arrival order — the property the
+// repo's determinism suite relies on: a streaming run is bit-identical to
+// the synchronous batch run under simclock. Micro-batch boundaries
+// (FlushSize items or FlushInterval of age, whichever first) only shape
+// scheduling and instrumentation, never results; stage handlers are free
+// to fan a batch's independent work over the shared worker pool
+// (internal/parallel) as long as they apply effects in batch order.
+//
+// Backpressure: Queue.Push blocks while the queue is full. Because each
+// stage pushes into the next stage's queue, a slow stage fills its input
+// and the stall propagates back to the producer — for the sniffer, the
+// engine's Subscribe callback, which pauses the simulated firehose exactly
+// the way a real Streaming API reader stops draining its socket.
+package pipeline
+
+import (
+	"errors"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
+)
+
+// ErrClosed is returned by Queue.Push after Close.
+var ErrClosed = errors.New("pipeline: queue closed")
+
+// Config parameterizes a Runner and the queues created for it.
+type Config struct {
+	// FlushSize is the micro-batch size bound (default 64).
+	FlushSize int
+	// FlushInterval bounds how long a partial batch waits for more items
+	// after its first item arrived (default 25ms). Zero flushes whatever
+	// is immediately available.
+	FlushInterval time.Duration
+	// QueueCap bounds every queue created for the runner
+	// (default 4×FlushSize). Push blocks while the queue is full.
+	QueueCap int
+	// Metrics receives the runtime's instrumentation; nil binds the
+	// process-wide metrics.Default() registry.
+	Metrics *metrics.Registry
+	// Tracer records one trace per non-empty stage flush; nil binds the
+	// process-wide trace.Default() tracer (disabled by default).
+	Tracer *trace.Tracer
+}
+
+// DefaultFlushSize is the default micro-batch size bound.
+const DefaultFlushSize = 64
+
+// DefaultFlushInterval is the default partial-batch age bound.
+const DefaultFlushInterval = 25 * time.Millisecond
+
+func (c Config) withDefaults() Config {
+	if c.FlushSize <= 0 {
+		c.FlushSize = DefaultFlushSize
+	}
+	if c.FlushInterval < 0 {
+		c.FlushInterval = 0
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4 * c.FlushSize
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.Default()
+	}
+	if c.Tracer == nil {
+		c.Tracer = trace.Default()
+	}
+	return c
+}
+
+// Runner owns a linear chain of stages. Register stages in topological
+// (upstream-first) order with Through/Sink, then Start. Drain waits for
+// every enqueued item to finish processing; Close the head queue and Wait
+// to shut the chain down.
+type Runner struct {
+	cfg    Config
+	ins    *instruments
+	stages []*stageState
+	wg     sync.WaitGroup
+}
+
+// NewRunner creates a runner; queues and stages bind to its config.
+func NewRunner(cfg Config) *Runner {
+	cfg = cfg.withDefaults()
+	return &Runner{cfg: cfg, ins: newInstruments(cfg.Metrics)}
+}
+
+// Queue is a bounded FIFO of T with blocking push (backpressure) and
+// close semantics. A queue has exactly one producer (the upstream stage or
+// the external ingest callback) and one consumer (the downstream stage);
+// the producer must not Push after Close.
+type Queue[T any] struct {
+	name string
+	ch   chan T
+
+	mu     sync.Mutex
+	closed bool
+	pushed uint64
+
+	depth        *metrics.Gauge
+	backpressure *metrics.Counter
+}
+
+// NewQueue creates a bounded queue named after the stage that consumes it,
+// sized by the runner's QueueCap.
+func NewQueue[T any](r *Runner, name string) *Queue[T] {
+	return &Queue[T]{
+		name:         name,
+		ch:           make(chan T, r.cfg.QueueCap),
+		depth:        r.ins.depth.With(name),
+		backpressure: r.ins.backpressure.With(name),
+	}
+}
+
+// Push appends v, blocking while the queue is full (backpressure). It
+// returns ErrClosed once the queue has been closed.
+func (q *Queue[T]) Push(v T) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return ErrClosed
+	}
+	q.pushed++
+	q.mu.Unlock()
+	select {
+	case q.ch <- v:
+	default:
+		// Full: count the stall, then block until the consumer drains.
+		q.backpressure.Inc()
+		q.ch <- v
+	}
+	q.depth.Set(float64(len(q.ch)))
+	return nil
+}
+
+// Close marks the queue complete. The consumer drains the remaining items
+// and then observes the end of the stream. Close is idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	close(q.ch)
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.ch) }
+
+// Pushed reports the total number of items ever pushed.
+func (q *Queue[T]) Pushed() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pushed
+}
+
+// popBatch blocks for the first item (or end of stream), then collects up
+// to max items, waiting at most wait after the first item for stragglers.
+// It returns ok=false only when the queue is closed and fully drained.
+func (q *Queue[T]) popBatch(max int, wait time.Duration) (batch []T, ok bool) {
+	v, ok := <-q.ch
+	if !ok {
+		return nil, false
+	}
+	batch = append(make([]T, 0, max), v)
+	var deadline <-chan time.Time
+	for len(batch) < max {
+		select {
+		case v, open := <-q.ch:
+			if !open {
+				q.depth.Set(0)
+				return batch, true
+			}
+			batch = append(batch, v)
+		default:
+			if wait <= 0 {
+				q.depth.Set(float64(len(q.ch)))
+				return batch, true
+			}
+			if deadline == nil {
+				deadline = time.After(wait)
+			}
+			select {
+			case v, open := <-q.ch:
+				if !open {
+					q.depth.Set(0)
+					return batch, true
+				}
+				batch = append(batch, v)
+			case <-deadline:
+				q.depth.Set(float64(len(q.ch)))
+				return batch, true
+			}
+		}
+	}
+	q.depth.Set(float64(len(q.ch)))
+	return batch, true
+}
+
+// stageState tracks one stage's completion for Drain.
+type stageState struct {
+	name   string
+	pushed func() uint64
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	completed uint64
+
+	run func()
+}
+
+func (s *stageState) done(n int) {
+	s.mu.Lock()
+	s.completed += uint64(n)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// drain blocks until the stage has fully processed everything pushed to
+// its input queue. The producer must be quiescent, or drain never settles.
+func (s *stageState) drain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.completed != s.pushed() {
+		s.cond.Wait()
+	}
+}
+
+func newStage(r *Runner, name string, pushed func() uint64) *stageState {
+	s := &stageState{name: name, pushed: pushed}
+	s.cond = sync.NewCond(&s.mu)
+	r.stages = append(r.stages, s)
+	return s
+}
+
+// flush wraps one micro-batch through the runner's instrumentation: batch
+// and item counters, flush-latency histogram, and a per-flush trace.
+func (r *Runner) flush(name string, n int, fn func(tr *trace.Trace)) {
+	start := time.Now()
+	tr := r.cfg.Tracer.Start("pipeline_" + name)
+	sp := tr.StartSpan("pipeline_" + name)
+	fn(tr)
+	sp.End()
+	if tr != nil {
+		tr.SetAttr("batch", strconv.Itoa(n))
+	}
+	tr.Finish()
+	r.ins.batches.With(name).Inc()
+	r.ins.items.With(name).Add(float64(n))
+	r.ins.flushSecs.With(name).ObserveDuration(start)
+}
+
+// Through registers a stage that consumes in, applies fn per micro-batch,
+// and pushes fn's outputs — in order — to out. The stage closes out once
+// in is closed and drained, propagating shutdown down the chain. fn must
+// apply stateful effects in batch order; it may fan independent work over
+// the worker pool.
+func Through[In, Out any](r *Runner, name string, in *Queue[In], out *Queue[Out], fn func(batch []In) []Out) {
+	s := newStage(r, name, in.Pushed)
+	s.run = func() {
+		defer out.Close()
+		for {
+			batch, ok := in.popBatch(r.cfg.FlushSize, r.cfg.FlushInterval)
+			if !ok {
+				return
+			}
+			var outs []Out
+			r.flush(name, len(batch), func(*trace.Trace) {
+				outs = fn(batch)
+			})
+			for _, o := range outs {
+				// The only producer of out is this stage, so a push
+				// can fail only after external shutdown; drop then.
+				if err := out.Push(o); err != nil {
+					break
+				}
+			}
+			s.done(len(batch))
+		}
+	}
+}
+
+// Sink registers the chain's terminal stage: it consumes in and applies fn
+// per micro-batch with nothing downstream.
+func Sink[In any](r *Runner, name string, in *Queue[In], fn func(batch []In)) {
+	s := newStage(r, name, in.Pushed)
+	s.run = func() {
+		for {
+			batch, ok := in.popBatch(r.cfg.FlushSize, r.cfg.FlushInterval)
+			if !ok {
+				return
+			}
+			r.flush(name, len(batch), func(*trace.Trace) {
+				fn(batch)
+			})
+			s.done(len(batch))
+		}
+	}
+}
+
+// Start launches one goroutine per registered stage.
+func (r *Runner) Start() {
+	for _, s := range r.stages {
+		r.wg.Add(1)
+		go func(s *stageState) {
+			defer r.wg.Done()
+			s.run()
+		}(s)
+	}
+}
+
+// Drain blocks until every item pushed so far has been fully processed by
+// every stage, in upstream-to-downstream order. The caller must guarantee
+// the external producer is quiescent for the duration (the sniffer drains
+// between RunHours calls); Drain does not close anything, so streaming can
+// resume afterwards.
+func (r *Runner) Drain() {
+	for _, s := range r.stages {
+		s.drain()
+	}
+}
+
+// Wait blocks until every stage goroutine has exited. Close the head
+// queue first; each stage closes its output queue on exit, so the
+// shutdown cascades to the sink.
+func (r *Runner) Wait() { r.wg.Wait() }

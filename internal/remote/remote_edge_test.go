@@ -1,0 +1,183 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/core"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/twitterapi"
+)
+
+// healthyUpstream starts a twitterd-style test server over a fresh small
+// world and returns its base URL.
+func healthyUpstream(t *testing.T) *url.URL {
+	t.Helper()
+	cfg := socialnet.DefaultConfig()
+	cfg.NumAccounts = 1500
+	cfg.OrganicTweetsPerHour = 400
+	w, err := socialnet.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(twitterapi.NewServer(socialnet.NewEngine(w)))
+	t.Cleanup(ts.Close)
+	u, err := url.Parse(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// faultClient fronts a healthy twitterd test server with a proxy that
+// answers any path containing failPath with failCode and forwards
+// everything else, so one endpoint at a time can be broken.
+func faultClient(t *testing.T, failPath string, failCode int) *twitterapi.Client {
+	t.Helper()
+	upstream := healthyUpstream(t)
+	proxy := httputil.NewSingleHostReverseProxy(upstream)
+	proxy.FlushInterval = -1 // pass streaming responses through unbuffered
+	faulty := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.Contains(r.URL.Path, failPath) {
+			// A wire-shaped APIError body, so client-error statuses are
+			// recognized as non-retryable rather than generic failures.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(failCode)
+			fmt.Fprintf(w, `{"code":%d,"message":"injected fault"}`, failCode)
+			return
+		}
+		proxy.ServeHTTP(w, r)
+	}))
+	t.Cleanup(faulty.Close)
+	return twitterapi.NewClient(faulty.URL, faulty.Client())
+}
+
+func faultSniffer(t *testing.T, failPath string, failCode int) *Sniffer {
+	t.Helper()
+	sniffer, err := NewSniffer(faultClient(t, failPath, failCode), core.MonitorConfig{
+		Specs: core.RandomSpec(50),
+		Seed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sniffer
+}
+
+// TestRemoteSnifferNoNodes breaks the screening endpoint: rotation then
+// selects nothing and the first monitored hour must fail loudly rather
+// than stream with an empty track list.
+func TestRemoteSnifferNoNodes(t *testing.T) {
+	sniffer := faultSniffer(t, "/users/search.json", http.StatusInternalServerError)
+	err := sniffer.MonitorSimHours(context.Background(), 1)
+	if err == nil {
+		t.Fatal("monitoring with a dead screening endpoint succeeded")
+	}
+	if !strings.Contains(err.Error(), "no nodes") {
+		t.Fatalf("err = %v, want the no-nodes rotation failure", err)
+	}
+}
+
+// TestRemoteSnifferLookupError breaks the batch profile lookup: screening
+// succeeds, but resolving the selected nodes to @screen_name filters fails
+// and the error must propagate with its hour context.
+func TestRemoteSnifferLookupError(t *testing.T) {
+	sniffer := faultSniffer(t, "/users/lookup.json", http.StatusInternalServerError)
+	err := sniffer.MonitorSimHours(context.Background(), 1)
+	if err == nil {
+		t.Fatal("monitoring with a dead lookup endpoint succeeded")
+	}
+	if !strings.Contains(err.Error(), "hour 0") {
+		t.Fatalf("err = %v, want hour context", err)
+	}
+}
+
+// TestRemoteSnifferAdvanceError breaks the simulation-advance endpoint:
+// the hour must fail after tearing the stream down, not hang on it.
+func TestRemoteSnifferAdvanceError(t *testing.T) {
+	sniffer := faultSniffer(t, "/sim/advance.json", http.StatusInternalServerError)
+	done := make(chan error, 1)
+	go func() { done <- sniffer.MonitorSimHours(context.Background(), 1) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("monitoring with a dead advance endpoint succeeded")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("monitoring hung on a dead advance endpoint")
+	}
+}
+
+// TestRemoteSnifferStreamRejected rejects statuses/filter with a client
+// error (which the client does not retry): the hour must report it.
+func TestRemoteSnifferStreamRejected(t *testing.T) {
+	sniffer := faultSniffer(t, "/statuses/filter.json", http.StatusForbidden)
+	err := sniffer.MonitorSimHours(context.Background(), 1)
+	if err == nil {
+		t.Fatal("monitoring with a rejected stream succeeded")
+	}
+}
+
+// TestRemoteSnifferAdvanceTimeout hangs the advance endpoint until the
+// caller's deadline: the context timeout must cut the hour short.
+func TestRemoteSnifferAdvanceTimeout(t *testing.T) {
+	upstream := healthyUpstream(t)
+	proxy := httputil.NewSingleHostReverseProxy(upstream)
+	proxy.FlushInterval = -1
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.Contains(r.URL.Path, "/sim/advance.json") {
+			<-r.Context().Done() // hang until the client gives up
+			return
+		}
+		proxy.ServeHTTP(w, r)
+	}))
+	t.Cleanup(slow.Close)
+	sniffer, err := NewSniffer(twitterapi.NewClient(slow.URL, slow.Client()), core.MonitorConfig{
+		Specs: core.RandomSpec(50),
+		Seed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := sniffer.MonitorSimHours(ctx, 1); err == nil {
+		t.Fatal("monitoring with a hanging advance endpoint succeeded")
+	}
+	if time.Since(start) > 8*time.Second {
+		t.Fatal("context deadline did not cut the hanging hour short")
+	}
+}
+
+// TestRemoteLookupFallback exercises the per-capture profile fallback:
+// cache hits never touch the wire, misses fall back to one REST lookup,
+// and a failing endpoint degrades to a nil profile instead of an error.
+func TestRemoteLookupFallback(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	t.Cleanup(dead.Close)
+	sniffer, err := NewSniffer(twitterapi.NewClient(dead.URL, dead.Client()), core.MonitorConfig{
+		Specs: core.RandomSpec(10),
+		Seed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sniffer.lookup(42); got != nil {
+		t.Fatalf("lookup against a dead server = %+v, want nil", got)
+	}
+	cached := &socialnet.Account{ID: 42, ScreenName: "cached"}
+	sniffer.profiles[42] = cached
+	if got := sniffer.lookup(42); got != cached {
+		t.Fatal("cache hit still went to the wire")
+	}
+}
