@@ -19,7 +19,7 @@ RACE_PKGS := ./internal/parallel/ \
 METRICS_COVER_MIN := 90
 TRACE_COVER_MIN := 90
 
-.PHONY: check vet vulncheck build test race bench cover-metrics cover-trace
+.PHONY: check vet vulncheck build test race bench bench-e2e bench-e2e-check cover-metrics cover-trace
 
 check: vet vulncheck build test race cover-metrics cover-trace
 
@@ -78,3 +78,16 @@ bench:
 		./internal/ml/tree/ ./internal/ml/forest/ ./internal/ml/boost/ \
 		./internal/ml/ ./internal/core/
 	$(GO) run ./cmd/benchreport -mlbench BENCH_ml.json
+	$(GO) run ./cmd/benchreport -e2ebench BENCH_e2e.json
+
+# bench-e2e regenerates only the committed end-to-end hot-path baseline
+# (NDJSON ingest -> features -> classification, tweets/sec and
+# allocs/tweet at workers 1/2/8).
+bench-e2e:
+	$(GO) run ./cmd/benchreport -e2ebench BENCH_e2e.json
+
+# bench-e2e-check measures the hot path fresh and fails when optimized
+# tweets/sec regressed more than 10% against the committed baseline.
+# Set PH_SKIP_E2E_CHECK=1 to skip on shared or throttled machines.
+bench-e2e-check:
+	$(GO) run ./cmd/benchreport -e2echeck BENCH_e2e.json

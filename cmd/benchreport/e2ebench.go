@@ -1,0 +1,477 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/features"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml/forest"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/twitterapi"
+)
+
+// The end-to-end bench pins the serving hot path: NDJSON decode →
+// mention filter → feature extraction → micro-batched classification.
+// The baseline runs the pre-optimization stack (encoding/json per line,
+// owning DecodeTweet, pointer-tree forest); the optimized path runs the
+// zero-alloc stack (StreamDecoder + TweetScratch, clone-on-hit, flattened
+// contiguous forest). Both produce bit-identical verdict streams, which
+// the bench asserts before recording a single number.
+const (
+	// e2eBenchReps is the number of timed passes per path; the median
+	// wall time and the minimum allocation count are reported.
+	e2eBenchReps = 3
+	// e2eTweets is the NDJSON corpus size.
+	e2eTweets = 30000
+	// e2eAccounts is the synthetic profile population.
+	e2eAccounts = 400
+	// e2eSeed drives corpus generation.
+	e2eSeed = 7
+	// e2eClassifyBatch is the classification micro-batch size,
+	// matching the streaming pipeline's flush granularity order.
+	e2eClassifyBatch = 512
+	// e2eTrainCap bounds the forest training set so single-worker fits
+	// stay cheap.
+	e2eTrainCap = 2000
+	// e2eRegressTolerance is the -e2echeck failure threshold on the
+	// optimized path's tweets/sec.
+	e2eRegressTolerance = 0.10
+)
+
+// e2eReport is the schema of BENCH_e2e.json.
+type e2eReport struct {
+	Corpus  e2eCorpusMeta    `json:"corpus"`
+	Workers []e2eWorkerEntry `json:"workers"`
+}
+
+type e2eCorpusMeta struct {
+	Tweets   int    `json:"tweets"`
+	Accounts int    `json:"accounts"`
+	Captures int    `json:"captures"`
+	Seed     int64  `json:"seed"`
+	Note     string `json:"note"`
+}
+
+type e2eWorkerEntry struct {
+	Workers   int          `json:"workers"`
+	Baseline  e2ePathStats `json:"baseline"`
+	Optimized e2ePathStats `json:"optimized"`
+	Speedup   float64      `json:"speedup"`
+}
+
+type e2ePathStats struct {
+	TweetsPerSec   float64 `json:"tweets_per_sec"`
+	AllocsPerTweet float64 `json:"allocs_per_tweet"`
+}
+
+// e2eCorpus is the fixed synthetic stream every run replays: NDJSON
+// lines, the profile table stream processing resolves senders and
+// receivers against, and the monitored (pseudo-honeypot) receiver set.
+type e2eCorpus struct {
+	lines     [][]byte
+	accounts  map[socialnet.AccountID]*socialnet.Account
+	monitored map[socialnet.AccountID]bool
+}
+
+// genE2ECorpus fabricates the corpus: 400 profiles (10% spammers), 30k
+// tweets where spammers target the monitored accounts far more often
+// than organic traffic does — the skew the pseudo-honeypot exploits —
+// with oracle labels carried on the wire for training.
+func genE2ECorpus() *e2eCorpus {
+	rng := rand.New(rand.NewSource(e2eSeed))
+	t0 := time.Date(2019, 6, 24, 0, 0, 0, 0, time.UTC)
+
+	users := make([]twitterapi.User, e2eAccounts)
+	var spammerIDs, monitoredIDs []int64
+	for i := range users {
+		id := int64(i + 1)
+		spammer := id%10 == 0
+		age := time.Duration(rng.Intn(2000)+30) * 24 * time.Hour
+		u := twitterapi.User{
+			ID:               id,
+			ScreenName:       fmt.Sprintf("user_%d", id),
+			Name:             fmt.Sprintf("User %d", id),
+			Description:      fmt.Sprintf("profile %d: tweets about topic %d", id, rng.Intn(40)),
+			CreatedAt:        t0.Add(-age).Format(time.RFC3339),
+			FriendsCount:     rng.Intn(800),
+			FollowersCount:   rng.Intn(2000),
+			ListedCount:      rng.Intn(30),
+			FavouritesCount:  rng.Intn(5000),
+			StatusesCount:    rng.Intn(20000),
+			Verified:         !spammer && rng.Float64() < 0.02,
+			ProfileImageHash: fmt.Sprintf("%016x", rng.Uint64()),
+		}
+		if spammer {
+			u.FriendsCount = 1500 + rng.Intn(3000)
+			u.FollowersCount = rng.Intn(60)
+			u.DefaultProfile = rng.Float64() < 0.5
+			u.Description = fmt.Sprintf("get followers fast! visit promo site %d", rng.Intn(9))
+			spammerIDs = append(spammerIDs, id)
+		} else if id%9 == 1 {
+			monitoredIDs = append(monitoredIDs, id)
+		}
+		users[i] = u
+	}
+
+	accounts := make(map[socialnet.AccountID]*socialnet.Account, e2eAccounts)
+	for i := range users {
+		a := twitterapi.DecodeUser(&users[i])
+		accounts[a.ID] = a
+	}
+	monitored := make(map[socialnet.AccountID]bool, len(monitoredIDs))
+	for _, id := range monitoredIDs {
+		monitored[socialnet.AccountID(id)] = true
+	}
+
+	spamTexts := []string{
+		"FREE followers now, claim code %d at our site",
+		"you won prize #%d!! click fast",
+		"boost your account %dx overnight, limited slots",
+		"earn $%d/day from home, no experience",
+	}
+	sources := []string{"web", "mobile", "third-party", "other"}
+
+	lines := make([][]byte, 0, e2eTweets)
+	for i := 0; i < e2eTweets; i++ {
+		isSpam := rng.Float64() < 0.30
+		var author twitterapi.User
+		if isSpam {
+			author = users[spammerIDs[rng.Intn(len(spammerIDs))]-1]
+		} else {
+			for {
+				author = users[rng.Intn(e2eAccounts)]
+				if author.ID%10 != 0 {
+					break
+				}
+			}
+		}
+		kind := "tweet"
+		switch r := rng.Float64(); {
+		case r < 0.12:
+			kind = "retweet"
+		case r < 0.17:
+			kind = "quote"
+		}
+		wt := twitterapi.Tweet{
+			ID:        int64(1_000_000 + i),
+			CreatedAt: t0.Add(time.Duration(i) * 400 * time.Millisecond).Format(time.RFC3339Nano),
+			Kind:      kind,
+			Source:    sources[rng.Intn(len(sources))],
+			User:      author,
+		}
+		if isSpam {
+			wt.Text = fmt.Sprintf(spamTexts[rng.Intn(len(spamTexts))], rng.Intn(9000)+1000)
+			wt.Entities.URLs = []string{fmt.Sprintf("https://promo.example/%d", rng.Intn(500))}
+			wt.Entities.Hashtags = []string{"free", "deal"}
+		} else {
+			wt.Text = fmt.Sprintf("thinking about topic %d over coffee today", rng.Intn(4000))
+			if rng.Float64() < 0.3 {
+				wt.Entities.Hashtags = []string{fmt.Sprintf("tag%d", rng.Intn(50))}
+			}
+		}
+		addMention := func(id int64) {
+			wt.Entities.Mentions = append(wt.Entities.Mentions,
+				twitterapi.Mention{ID: id, ScreenName: users[id-1].ScreenName})
+		}
+		hitP := 0.02
+		if isSpam {
+			hitP = 0.20
+		}
+		if rng.Float64() < hitP {
+			addMention(monitoredIDs[rng.Intn(len(monitoredIDs))])
+		}
+		for n := rng.Intn(2); n > 0; n-- {
+			addMention(int64(rng.Intn(e2eAccounts)) + 1)
+		}
+		spamFlag := isSpam
+		camp := socialnet.NoCampaign
+		if isSpam {
+			camp = int(author.ID % 7)
+		}
+		wt.Spam = &spamFlag
+		wt.CampaignID = &camp
+		b, err := json.Marshal(wt)
+		if err != nil {
+			panic(err)
+		}
+		lines = append(lines, b)
+	}
+	return &e2eCorpus{lines: lines, accounts: accounts, monitored: monitored}
+}
+
+// runE2EPath replays the corpus through one full serving pass and
+// returns the verdict stream. Both paths share the filter, extraction,
+// and micro-batch structure; they differ only in the decode stack and
+// the forest's predictor (pointer trees vs flattened pool), so verdict
+// equality isolates exactly the layers the optimization replaced.
+func runE2EPath(c *e2eCorpus, clf *forest.Forest, optimized bool) []bool {
+	ext := features.NewExtractor()
+	attrKeys := []string{"random"}
+	dec := twitterapi.NewStreamDecoder()
+	var conv twitterapi.TweetScratch
+
+	verdicts := make([]bool, 0, len(c.lines)/3)
+	pend := make([]features.Vector, 0, e2eClassifyBatch)
+	views := make([][]float64, 0, e2eClassifyBatch)
+	out := make([]bool, 0, e2eClassifyBatch)
+	flush := func() {
+		if len(pend) == 0 {
+			return
+		}
+		views = views[:0]
+		for i := range pend {
+			views = append(views, pend[i][:])
+		}
+		out = clf.PredictBatchInto(views, out)
+		verdicts = append(verdicts, out...)
+		pend = pend[:0]
+	}
+
+	for _, line := range c.lines {
+		var st *socialnet.Tweet
+		if optimized {
+			wt, err := dec.Decode(line)
+			if err != nil {
+				panic(fmt.Sprintf("e2ebench: decode: %v", err))
+			}
+			st = conv.Convert(wt)
+		} else {
+			var wt twitterapi.Tweet
+			if err := json.Unmarshal(line, &wt); err != nil {
+				panic(fmt.Sprintf("e2ebench: unmarshal: %v", err))
+			}
+			st, _ = twitterapi.DecodeTweet(&wt)
+		}
+		var recv *socialnet.Account
+		for _, m := range st.Mentions {
+			if c.monitored[m] {
+				recv = c.accounts[m]
+				break
+			}
+		}
+		if recv == nil {
+			continue
+		}
+		if optimized {
+			// A hit is retained past the callback (the extractor keys
+			// behavioural state on the text), so the scratch tweet is
+			// cloned exactly as the capture pipeline clones it. Misses —
+			// the vast majority — stay allocation-free.
+			st = st.Clone()
+		}
+		vec := ext.Extract(features.Observation{
+			Tweet:    st,
+			Sender:   c.accounts[st.AuthorID],
+			Receiver: recv,
+			AttrKeys: attrKeys,
+		})
+		pend = append(pend, vec)
+		if len(pend) == e2eClassifyBatch {
+			flush()
+		}
+	}
+	flush()
+	return verdicts
+}
+
+// e2eTrainingData extracts labeled vectors from the corpus' capture
+// stream (oracle labels ride the wire) for fitting the bench forests.
+func e2eTrainingData(c *e2eCorpus) ([][]float64, []bool) {
+	ext := features.NewExtractor()
+	attrKeys := []string{"random"}
+	dec := twitterapi.NewStreamDecoder()
+	var conv twitterapi.TweetScratch
+	var x [][]float64
+	var y []bool
+	for _, line := range c.lines {
+		wt, err := dec.Decode(line)
+		if err != nil {
+			panic(err)
+		}
+		st := conv.Convert(wt)
+		hit := false
+		for _, m := range st.Mentions {
+			if c.monitored[m] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			continue
+		}
+		st = st.Clone()
+		vec := ext.Extract(features.Observation{
+			Tweet:    st,
+			Sender:   c.accounts[st.AuthorID],
+			AttrKeys: attrKeys,
+		})
+		row := make([]float64, len(vec))
+		copy(row, vec[:])
+		x = append(x, row)
+		y = append(y, st.Spam)
+		if len(x) == e2eTrainCap {
+			break
+		}
+	}
+	return x, y
+}
+
+// e2eFitForest fits a paper-config forest on the training set. pointer
+// selects the pointer-tree predictor (the baseline oracle); otherwise
+// Fit compiles the flattened pool. Fitted trees are bit-identical either
+// way, so verdict differences can only come from the predictor layer.
+func e2eFitForest(x [][]float64, y []bool, workers int, pointer bool) *forest.Forest {
+	cfg := forest.PaperConfig()
+	cfg.Workers = workers
+	cfg.PointerPredict = pointer
+	f := forest.New(cfg)
+	if err := f.Fit(x, y); err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// e2eMeasure times full corpus passes: median wall time of e2eBenchReps
+// runs for tweets/sec, minimum Mallocs delta for allocs/tweet (the
+// counts are deterministic; min discards background-goroutine noise).
+func e2eMeasure(c *e2eCorpus, clf *forest.Forest, optimized bool) e2ePathStats {
+	runE2EPath(c, clf, optimized) // warm-up
+	secs := make([]float64, e2eBenchReps)
+	allocs := make([]float64, e2eBenchReps)
+	var ms runtime.MemStats
+	for r := range secs {
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		m0 := ms.Mallocs
+		start := time.Now()
+		runE2EPath(c, clf, optimized)
+		secs[r] = time.Since(start).Seconds()
+		runtime.ReadMemStats(&ms)
+		allocs[r] = float64(ms.Mallocs - m0)
+	}
+	sort.Float64s(secs)
+	sort.Float64s(allocs)
+	n := float64(len(c.lines))
+	return e2ePathStats{
+		TweetsPerSec:   n / secs[e2eBenchReps/2],
+		AllocsPerTweet: allocs[0] / n,
+	}
+}
+
+// e2eRun builds the corpus, fits the per-worker forest pairs, verifies
+// baseline and optimized verdict streams are identical, and measures
+// both paths at workers 1, 2, and 8.
+func e2eRun() (*e2eReport, error) {
+	c := genE2ECorpus()
+	x, y := e2eTrainingData(c)
+	report := &e2eReport{
+		Corpus: e2eCorpusMeta{
+			Tweets:   len(c.lines),
+			Accounts: e2eAccounts,
+			Seed:     e2eSeed,
+			Note: fmt.Sprintf("synthetic NDJSON stream; capture->features->classify; "+
+				"median of %d passes per mode", e2eBenchReps),
+		},
+	}
+	for _, w := range []int{1, 2, 8} {
+		base := e2eFitForest(x, y, w, true)
+		opt := e2eFitForest(x, y, w, false)
+		vb := runE2EPath(c, base, false)
+		vo := runE2EPath(c, opt, true)
+		if len(vb) != len(vo) {
+			return nil, fmt.Errorf("e2ebench: capture counts diverge at workers=%d: %d vs %d", w, len(vb), len(vo))
+		}
+		for i := range vb {
+			if vb[i] != vo[i] {
+				return nil, fmt.Errorf("e2ebench: verdict %d diverges at workers=%d", i, w)
+			}
+		}
+		report.Corpus.Captures = len(vb)
+		bs := e2eMeasure(c, base, false)
+		ops := e2eMeasure(c, opt, true)
+		report.Workers = append(report.Workers, e2eWorkerEntry{
+			Workers:   w,
+			Baseline:  bs,
+			Optimized: ops,
+			Speedup:   ops.TweetsPerSec / bs.TweetsPerSec,
+		})
+	}
+	return report, nil
+}
+
+// runE2EBench regenerates the BENCH_e2e.json baseline.
+func runE2EBench(path string) error {
+	report, err := e2eRun()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	for _, e := range report.Workers {
+		fmt.Printf("workers=%d  baseline %9.0f tw/s %6.1f allocs/tw   optimized %9.0f tw/s %6.2f allocs/tw   speedup %.2fx\n",
+			e.Workers, e.Baseline.TweetsPerSec, e.Baseline.AllocsPerTweet,
+			e.Optimized.TweetsPerSec, e.Optimized.AllocsPerTweet, e.Speedup)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// runE2ECheck reruns the end-to-end measurement and fails when the
+// optimized path's tweets/sec regressed more than e2eRegressTolerance
+// against the committed baseline file. PH_SKIP_E2E_CHECK skips the
+// check (for constrained or shared machines where timing is unstable).
+func runE2ECheck(path string) error {
+	if os.Getenv("PH_SKIP_E2E_CHECK") != "" {
+		fmt.Println("e2echeck: skipped (PH_SKIP_E2E_CHECK set)")
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var old e2eReport
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("e2echeck: %s: %w", path, err)
+	}
+	fresh, err := e2eRun()
+	if err != nil {
+		return err
+	}
+	failed := false
+	for _, oe := range old.Workers {
+		var fe *e2eWorkerEntry
+		for i := range fresh.Workers {
+			if fresh.Workers[i].Workers == oe.Workers {
+				fe = &fresh.Workers[i]
+				break
+			}
+		}
+		if fe == nil {
+			return fmt.Errorf("e2echeck: no fresh measurement for workers=%d", oe.Workers)
+		}
+		delta := fe.Optimized.TweetsPerSec/oe.Optimized.TweetsPerSec - 1
+		status := "ok"
+		if delta < -e2eRegressTolerance {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("workers=%d  recorded %9.0f tw/s  fresh %9.0f tw/s  delta %+6.1f%%  %s\n",
+			oe.Workers, oe.Optimized.TweetsPerSec, fe.Optimized.TweetsPerSec, delta*100, status)
+	}
+	if failed {
+		return fmt.Errorf("e2echeck: optimized tweets/sec regressed more than %.0f%% vs %s",
+			e2eRegressTolerance*100, path)
+	}
+	return nil
+}

@@ -39,10 +39,18 @@ func run() error {
 		format    = flag.String("format", "text", "output format: text, csv, or json")
 		outDir    = flag.String("out", "", "also write each experiment as a CSV file into this directory")
 		mlBench   = flag.String("mlbench", "", "skip the experiment tables and regenerate the ML training baseline JSON at this path (e.g. BENCH_ml.json)")
+		e2eBench  = flag.String("e2ebench", "", "skip the experiment tables and regenerate the end-to-end ingest+inference baseline JSON at this path (e.g. BENCH_e2e.json)")
+		e2eCheck  = flag.String("e2echeck", "", "measure the end-to-end hot path fresh and fail if optimized tweets/sec regressed >10% vs this baseline JSON (PH_SKIP_E2E_CHECK=1 skips)")
 	)
 	flag.Parse()
 	if *mlBench != "" {
 		return runMLBench(*mlBench)
+	}
+	if *e2eBench != "" {
+		return runE2EBench(*e2eBench)
+	}
+	if *e2eCheck != "" {
+		return runE2ECheck(*e2eCheck)
 	}
 	if *format != "text" && *format != "csv" && *format != "json" {
 		return fmt.Errorf("unknown format %q", *format)

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/features"
@@ -161,16 +162,34 @@ func (d *Detector) Classify(captures []*Capture) []bool {
 	defer trace.SetActive(tr)()
 	sp := tr.StartSpan("detector_classify")
 	verdicts := make([]bool, len(captures))
-	parallel.ForEachChunk(len(captures), 0, classifyMinChunk, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			// Each capture's own trace gets a "classify" span so the
-			// per-capture journey covers the verdict; timing uses the
-			// capture trace's clock, so simulated runs stay replayable.
-			csp := captures[i].Trace.StartSpan("classify")
-			verdicts[i] = d.clf.Predict(captures[i].Vector[:])
-			csp.End()
+	if bp, ok := d.clf.(batchPredictor); ok && untraced(captures) {
+		// Batch fast path: hand the whole batch to the classifier's
+		// buffer-reusing batch predictor (the flat forest walks it
+		// tree-major over contiguous nodes). Taken only when no capture
+		// carries a trace — per-capture "classify" spans would otherwise
+		// be lost — and identical to the per-sample path by the batch
+		// predictors' contract.
+		xs := classifyScratch.Get().(*[][]float64)
+		vecs := (*xs)[:0]
+		for _, c := range captures {
+			vecs = append(vecs, c.Vector[:])
 		}
-	})
+		bp.PredictBatchInto(vecs, verdicts)
+		clear(vecs) // drop capture references before pooling
+		*xs = vecs[:0]
+		classifyScratch.Put(xs)
+	} else {
+		parallel.ForEachChunk(len(captures), 0, classifyMinChunk, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				// Each capture's own trace gets a "classify" span so the
+				// per-capture journey covers the verdict; timing uses the
+				// capture trace's clock, so simulated runs stay replayable.
+				csp := captures[i].Trace.StartSpan("classify")
+				verdicts[i] = d.clf.Predict(captures[i].Vector[:])
+				csp.End()
+			}
+		})
+	}
 	sp.End()
 	tr.Finish()
 	spams := 0
@@ -192,6 +211,28 @@ func (d *Detector) Classify(captures []*Capture) []bool {
 // dispatch overhead stays negligible next to each prediction (a 70-tree
 // vote for the deployed RF).
 const classifyMinChunk = 16
+
+// batchPredictor is the optional batch interface classifiers expose for
+// buffer-reusing whole-batch prediction (the random forest's flattened
+// predictor implements it).
+type batchPredictor interface {
+	PredictBatchInto(x [][]float64, out []bool) []bool
+}
+
+// classifyScratch pools the per-batch feature-vector view built for the
+// batch fast path; the views alias capture vectors and are released before
+// Classify returns.
+var classifyScratch = sync.Pool{New: func() any { return new([][]float64) }}
+
+// untraced reports whether no capture in the batch carries a trace.
+func untraced(captures []*Capture) bool {
+	for _, c := range captures {
+		if c.Trace != nil {
+			return false
+		}
+	}
+	return true
+}
 
 // Attach wires a monitor to an in-process engine: the node set rotates at
 // every simulated hour start and the monitor filters the engine's firehose.

@@ -12,6 +12,7 @@ package features
 
 import (
 	"time"
+	"unicode/utf8"
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/textutil"
@@ -303,7 +304,7 @@ func (e *Extractor) Extract(o Observation) Vector {
 	v[FContentSource] = float64(t.Source)
 	v[FContentHashtags] = float64(len(t.Hashtags))
 	v[FContentMentions] = float64(len(t.Mentions))
-	v[FContentLength] = float64(len([]rune(t.Text)))
+	v[FContentLength] = float64(utf8.RuneCountInString(t.Text))
 	v[FContentEmoji] = float64(textutil.CountEmoji(t.Text))
 	v[FContentDigits] = float64(textutil.CountDigits(t.Text))
 
@@ -393,9 +394,9 @@ func fillProfile(v *Vector, base int, a *socialnet.Account, now time.Time) {
 	v[base+8] = float64(a.FavouritesCount)
 	v[base+9] = boolToF(a.Verified)
 	v[base+10] = boolToF(a.DefaultProfileImage)
-	v[base+11] = float64(len([]rune(a.ScreenName)))
-	v[base+12] = float64(len([]rune(a.Name)))
-	v[base+13] = float64(len([]rune(a.Description)))
+	v[base+11] = float64(utf8.RuneCountInString(a.ScreenName))
+	v[base+12] = float64(utf8.RuneCountInString(a.Name))
+	v[base+13] = float64(utf8.RuneCountInString(a.Description))
 	v[base+14] = float64(textutil.CountEmoji(a.Description))
 	v[base+15] = float64(textutil.CountDigits(a.Description))
 }

@@ -1,0 +1,95 @@
+package forest
+
+import (
+	"testing"
+)
+
+// fitPair trains the same configuration twice: once serving through the
+// compiled flat pool (the default) and once through the pointer trees
+// (PointerPredict, the oracle). Fitting is bit-identical for a seed, so
+// any prediction divergence is the flat predictor's fault.
+func fitPair(t *testing.T, cfg Config, x [][]float64, y []bool) (*Forest, *Forest) {
+	t.Helper()
+	flat := New(cfg)
+	if err := flat.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	cfg.PointerPredict = true
+	oracle := New(cfg)
+	if err := oracle.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if flat.flat == nil || oracle.flat != nil {
+		t.Fatal("predictor selection did not follow PointerPredict")
+	}
+	return flat, oracle
+}
+
+// TestFlatForestBitIdentical is the property suite for the flat predictor:
+// across seeds, shapes, and worker counts, single-sample and batch
+// verdicts and probabilities must equal the pointer oracle's bit for bit.
+func TestFlatForestBitIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		for _, cfg := range []Config{
+			{Trees: 15, Seed: seed},
+			{Trees: 8, MaxDepth: 3, Seed: seed},
+			{Trees: 10, MinLeaf: 4, Bins: 16, Seed: seed},
+		} {
+			x, y := noisyData(400, seed)
+			flat, oracle := fitPair(t, cfg, x, y)
+			tx, _ := noisyData(700, seed+100)
+
+			for i := range tx {
+				if flat.Predict(tx[i]) != oracle.Predict(tx[i]) {
+					t.Fatalf("seed %d cfg %+v: verdict mismatch at sample %d", seed, cfg, i)
+				}
+				if flat.PredictProba(tx[i]) != oracle.PredictProba(tx[i]) {
+					t.Fatalf("seed %d cfg %+v: probability mismatch at sample %d", seed, cfg, i)
+				}
+			}
+			for _, workers := range []int{1, 2, 8} {
+				flat.cfg.Workers = workers
+				oracle.cfg.Workers = workers
+				gotV, wantV := flat.PredictBatch(tx), oracle.PredictBatch(tx)
+				gotP, wantP := flat.PredictProbaBatch(tx), oracle.PredictProbaBatch(tx)
+				for i := range tx {
+					if gotV[i] != wantV[i] {
+						t.Fatalf("seed %d workers %d: batch verdict mismatch at %d", seed, workers, i)
+					}
+					if gotP[i] != wantP[i] {
+						t.Fatalf("seed %d workers %d: batch probability mismatch at %d", seed, workers, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPredictBatchIntoReuse checks the Into variants reuse caller buffers
+// and still match the allocating forms.
+func TestPredictBatchIntoReuse(t *testing.T) {
+	x, y := noisyData(300, 3)
+	f := New(Config{Trees: 12, Seed: 3})
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := noisyData(500, 4)
+	outV := make([]bool, 0, len(tx))
+	outP := make([]float64, 0, len(tx))
+	gotV := f.PredictBatchInto(tx, outV)
+	gotP := f.PredictProbaBatchInto(tx, outP)
+	if &gotV[0] != &outV[:1][0] || &gotP[0] != &outP[:1][0] {
+		t.Fatal("Into variants did not reuse the provided buffers")
+	}
+	wantV := f.PredictBatch(tx)
+	wantP := f.PredictProbaBatch(tx)
+	for i := range tx {
+		if gotV[i] != wantV[i] || gotP[i] != wantP[i] {
+			t.Fatalf("Into mismatch at %d", i)
+		}
+	}
+	// Short input into a large buffer must truncate, not stretch.
+	if short := f.PredictBatchInto(tx[:7], gotV); len(short) != 7 {
+		t.Fatalf("len = %d, want 7", len(short))
+	}
+}

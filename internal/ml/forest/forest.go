@@ -39,6 +39,12 @@ type Config struct {
 	// scan — the property-suite oracle and -mlbench baseline. Exact-mode
 	// ensembles are identical either way.
 	Reference bool
+	// PointerPredict serves predictions by walking the original pointer
+	// trees instead of the flattened contiguous node pool compiled at the
+	// end of Fit — the inference oracle for the flat predictor's property
+	// suite and the -e2ebench baseline. Verdicts and probabilities are
+	// bit-identical either way; only the memory layout differs.
+	PointerPredict bool
 }
 
 // PaperConfig returns the configuration the paper deploys: 70 trees with a
@@ -51,6 +57,8 @@ func PaperConfig() Config {
 type Forest struct {
 	cfg   Config
 	trees []*tree.Tree
+	// flat is the compiled contiguous predictor (nil under PointerPredict).
+	flat *flatForest
 }
 
 // New creates an untrained forest.
@@ -153,11 +161,17 @@ func (f *Forest) Fit(x [][]float64, y []bool) error {
 			return err
 		}
 	}
+	if !f.cfg.PointerPredict {
+		f.flat = compileFlat(f.trees)
+	}
 	return nil
 }
 
 // Predict returns the majority vote.
 func (f *Forest) Predict(x []float64) bool {
+	if f.flat != nil {
+		return f.flat.votes(x)*2 > len(f.trees)
+	}
 	votes := 0
 	for _, t := range f.trees {
 		if t.Predict(x) {
@@ -171,23 +185,75 @@ func (f *Forest) Predict(x []float64) bool {
 // the configured worker pool in contiguous chunks. The result is
 // index-aligned with x and identical to calling Predict per sample.
 func (f *Forest) PredictBatch(x [][]float64) []bool {
-	out := make([]bool, len(x))
+	return f.PredictBatchInto(x, nil)
+}
+
+// PredictBatchInto is PredictBatch writing into out (reused when its
+// capacity suffices, so steady-state callers allocate nothing). On the
+// flat predictor the batch walks tree-major over micro-blocks of samples
+// — one tree's contiguous nodes against a cache-resident block of rows —
+// with the vote tally on the worker's stack.
+func (f *Forest) PredictBatchInto(x [][]float64, out []bool) []bool {
+	if cap(out) < len(x) {
+		out = make([]bool, len(x))
+	}
+	out = out[:len(x)]
+	if f.flat == nil {
+		parallel.ForEachChunk(len(x), f.cfg.Workers, batchMinChunk, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = f.Predict(x[i])
+			}
+		})
+		return out
+	}
+	ff := f.flat
+	trees := len(f.trees)
+	if f.batchWorkers(len(x)) == 1 {
+		// Direct call: the single-worker fast path allocates nothing (no
+		// fan-out closures), which the alloc regression tests pin.
+		ff.predictRange(x, 0, len(x), trees, out)
+		return out
+	}
 	parallel.ForEachChunk(len(x), f.cfg.Workers, batchMinChunk, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] = f.Predict(x[i])
-		}
+		ff.predictRange(x, lo, hi, trees, out)
 	})
 	return out
+}
+
+// batchWorkers resolves the worker count a batch of n samples fans out to.
+func (f *Forest) batchWorkers(n int) int {
+	return parallel.Resolve(f.cfg.Workers, (n+batchMinChunk-1)/batchMinChunk)
 }
 
 // PredictProbaBatch returns the spam-vote fraction of every sample,
 // computed like PredictBatch.
 func (f *Forest) PredictProbaBatch(x [][]float64) []float64 {
-	out := make([]float64, len(x))
+	return f.PredictProbaBatchInto(x, nil)
+}
+
+// PredictProbaBatchInto is PredictProbaBatch writing into out (reused when
+// its capacity suffices), batched like PredictBatchInto.
+func (f *Forest) PredictProbaBatchInto(x [][]float64, out []float64) []float64 {
+	if cap(out) < len(x) {
+		out = make([]float64, len(x))
+	}
+	out = out[:len(x)]
+	if f.flat == nil {
+		parallel.ForEachChunk(len(x), f.cfg.Workers, batchMinChunk, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = f.PredictProba(x[i])
+			}
+		})
+		return out
+	}
+	ff := f.flat
+	trees := len(f.trees)
+	if f.batchWorkers(len(x)) == 1 {
+		ff.probaRange(x, 0, len(x), trees, out)
+		return out
+	}
 	parallel.ForEachChunk(len(x), f.cfg.Workers, batchMinChunk, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] = f.PredictProba(x[i])
-		}
+		ff.probaRange(x, lo, hi, trees, out)
 	})
 	return out
 }
@@ -220,6 +286,9 @@ func (f *Forest) FeatureImportance(d int) []float64 {
 func (f *Forest) PredictProba(x []float64) float64 {
 	if len(f.trees) == 0 {
 		return 0
+	}
+	if f.flat != nil {
+		return float64(f.flat.votes(x)) / float64(len(f.trees))
 	}
 	votes := 0
 	for _, t := range f.trees {

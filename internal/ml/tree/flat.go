@@ -1,0 +1,72 @@
+package tree
+
+// Flat is a structure-of-arrays encoding of one or more trees in a single
+// contiguous node pool: parallel slices for the split feature, threshold,
+// and child offsets. A leaf is marked by Feature < 0 and stores its vote
+// in Left (0 or 1). Nodes are packed in preorder, so a traversal's next
+// node is usually already in cache, and a forest flattens all of its trees
+// into one pool — the inference counterpart of the presorted-column
+// training engine.
+type Flat struct {
+	Feature   []int32
+	Threshold []float64
+	Left      []int32
+	Right     []int32
+}
+
+// Len returns the number of packed nodes.
+func (f *Flat) Len() int { return len(f.Feature) }
+
+// AppendFlat packs the trained tree's nodes onto f in preorder and returns
+// the root's offset, or -1 for an untrained tree (whose Predict is the
+// constant false).
+func (t *Tree) AppendFlat(f *Flat) int32 {
+	if t.root == nil {
+		return -1
+	}
+	return f.append(t.root)
+}
+
+func (f *Flat) append(n *node) int32 {
+	at := int32(len(f.Feature))
+	if n.leaf {
+		var vote int32
+		if n.label {
+			vote = 1
+		}
+		f.Feature = append(f.Feature, -1)
+		f.Threshold = append(f.Threshold, 0)
+		f.Left = append(f.Left, vote)
+		f.Right = append(f.Right, 0)
+		return at
+	}
+	f.Feature = append(f.Feature, int32(n.feature))
+	f.Threshold = append(f.Threshold, n.threshold)
+	// Reserve the slots, then patch the child offsets once known.
+	f.Left = append(f.Left, 0)
+	f.Right = append(f.Right, 0)
+	f.Left[at] = f.append(n.left)
+	f.Right[at] = f.append(n.right)
+	return at
+}
+
+// Predict walks the tree rooted at root for one sample, reproducing
+// Tree.Predict bit for bit (left on x[feature] <= threshold).
+func (f *Flat) Predict(root int32, x []float64) bool {
+	if root < 0 {
+		return false
+	}
+	feats, thrs, lefts, rights := f.Feature, f.Threshold, f.Left, f.Right
+	i := root
+	for {
+		fi := feats[i]
+		if fi < 0 {
+			return lefts[i] != 0
+		}
+		if x[fi] <= thrs[i] {
+			i = lefts[i]
+		} else {
+			i = rights[i]
+		}
+	}
+}

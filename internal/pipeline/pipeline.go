@@ -105,6 +105,11 @@ type Queue[T any] struct {
 	closed bool
 	pushed uint64
 
+	// batchBuf is popBatch's reusable output buffer. Safe because a queue
+	// has exactly one consumer, and each batch is fully processed before
+	// the consumer pops the next one.
+	batchBuf []T
+
 	depth        *metrics.Gauge
 	backpressure *metrics.Counter
 }
@@ -166,12 +171,18 @@ func (q *Queue[T]) Pushed() uint64 {
 // popBatch blocks for the first item (or end of stream), then collects up
 // to max items, waiting at most wait after the first item for stragglers.
 // It returns ok=false only when the queue is closed and fully drained.
+// The returned batch reuses the queue's buffer and is valid only until the
+// consumer's next popBatch call.
 func (q *Queue[T]) popBatch(max int, wait time.Duration) (batch []T, ok bool) {
 	v, ok := <-q.ch
 	if !ok {
 		return nil, false
 	}
-	batch = append(make([]T, 0, max), v)
+	if cap(q.batchBuf) < max {
+		q.batchBuf = make([]T, 0, max)
+	}
+	batch = append(q.batchBuf[:0], v)
+	defer func() { q.batchBuf = batch }()
 	var deadline <-chan time.Time
 	for len(batch) < max {
 		select {

@@ -20,6 +20,7 @@
 package socialnet
 
 import (
+	"strings"
 	"time"
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/imagehash"
@@ -266,12 +267,28 @@ func (t *Tweet) HasMention(id AccountID) bool {
 	return false
 }
 
-// Clone returns a deep copy of the tweet, so API boundaries never share
-// mutable slices with the engine.
+// Clone returns a deep copy of the tweet that owns all of its memory:
+// slices are copied so API boundaries never share mutable state with the
+// engine, and strings are copied so tweets built by zero-copy stream
+// decoding (whose strings alias a reused decode buffer) can be retained.
 func (t *Tweet) Clone() *Tweet {
 	cp := *t
-	cp.Hashtags = append([]string(nil), t.Hashtags...)
+	cp.Text = strings.Clone(t.Text)
+	cp.Topic = strings.Clone(t.Topic)
+	cp.Hashtags = cloneStringSlice(t.Hashtags)
+	cp.URLs = cloneStringSlice(t.URLs)
 	cp.Mentions = append([]AccountID(nil), t.Mentions...)
-	cp.URLs = append([]string(nil), t.URLs...)
 	return &cp
+}
+
+// cloneStringSlice deep-copies a string slice, preserving nil.
+func cloneStringSlice(in []string) []string {
+	if in == nil {
+		return nil
+	}
+	out := make([]string, len(in))
+	for i, s := range in {
+		out[i] = strings.Clone(s)
+	}
+	return out
 }

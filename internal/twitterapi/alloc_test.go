@@ -1,0 +1,59 @@
+package twitterapi
+
+import "testing"
+
+// TestStreamDecoderAllocFree pins the ingest decoder's steady-state
+// allocation budget at zero: once the scratch buffers have grown to the
+// stream's working size, decoding a line — escapes, entities, oracle
+// fields and all — must not allocate.
+func TestStreamDecoderAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	lines := [][]byte{
+		[]byte(`{"id":101,"created_at":"2019-06-24T12:00:00Z","text":"free followers → https://spam.example #deal","kind":"tweet","source":"web","user":{"id":42,"screen_name":"bot_7","name":"Bot Seven","description":"I\nretweet","friends_count":1000,"followers_count":3,"statuses_count":12000},"entities":{"hashtags":["deal","free"],"user_mentions":[{"id":5,"screen_name":"victim"}],"urls":["https://spam.example"]},"x_oracle_spam":true,"x_oracle_campaign":7}`),
+		[]byte(`{"id":102,"text":"plain organic tweet","user":{"id":43,"screen_name":"human"},"entities":{"hashtags":[],"user_mentions":[],"urls":[]}}`),
+	}
+	d := NewStreamDecoder()
+	for _, l := range lines { // grow scratch to working size
+		if _, err := d.Decode(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a := testing.AllocsPerRun(500, func() {
+		for _, l := range lines {
+			if _, err := d.Decode(l); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}); a != 0 {
+		t.Fatalf("steady-state Decode allocates %v per two lines, want 0", a)
+	}
+}
+
+// TestTweetScratchAllocFree extends the budget through wire-to-socialnet
+// conversion: Decode plus TweetScratch.Convert stays allocation-free.
+func TestTweetScratchAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	line := []byte(`{"id":101,"created_at":"2019-06-24T12:00:00Z","text":"free followers #deal","kind":"retweet","source":"mobile","user":{"id":42,"screen_name":"bot_7"},"entities":{"hashtags":["deal"],"user_mentions":[{"id":5,"screen_name":"victim"}],"urls":["https://spam.example"]}}`)
+	d := NewStreamDecoder()
+	var conv TweetScratch
+	if tw, err := d.Decode(line); err != nil {
+		t.Fatal(err)
+	} else {
+		conv.Convert(tw)
+	}
+	if a := testing.AllocsPerRun(500, func() {
+		tw, err := d.Decode(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if conv.Convert(tw) == nil {
+			t.Fatal("nil conversion")
+		}
+	}); a != 0 {
+		t.Fatalf("Decode+Convert allocates %v/op, want 0", a)
+	}
+}

@@ -2,6 +2,7 @@ package twitterapi
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -11,6 +12,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
@@ -175,6 +177,13 @@ type StreamFilter struct {
 // server rejects the request outright. A connection that delivered at
 // least one tweet was healthy, so the backoff ladder restarts from
 // InitialBackoff rather than resuming where the previous outage left it.
+//
+// Tweets are decoded with a zero-allocation scratch decoder: the Tweet
+// passed to handler — including every string and slice it references — is
+// valid only for the duration of the callback. Handlers that retain any of
+// it must take a deep copy with Tweet.Clone first. DecodeTweet and
+// DecodeUser already copy what they keep, so handlers built on them need
+// no extra care.
 func (c *Client) Stream(ctx context.Context, filter StreamFilter, handler func(Tweet)) error {
 	backoff := c.InitialBackoff
 	for {
@@ -244,21 +253,40 @@ func (c *Client) streamOnce(ctx context.Context, filter StreamFilter, handler fu
 		return decodeAPIError(resp)
 	}
 	c.ins.connects.Inc()
+	dec := streamDecoderPool.Get().(*StreamDecoder)
+	defer streamDecoderPool.Put(dec)
+	bufp := lineBufPool.Get().(*[]byte)
+	defer lineBufPool.Put(bufp)
 	scanner := bufio.NewScanner(resp.Body)
-	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	scanner.Buffer(*bufp, maxStreamLine)
 	for scanner.Scan() {
 		line := scanner.Bytes()
 		if len(line) == 0 {
 			continue
 		}
-		var t Tweet
-		if err := json.Unmarshal(line, &t); err != nil {
+		t, err := dec.Decode(line)
+		if err != nil {
 			return fmt.Errorf("decode stream: %w", err)
 		}
-		handler(t)
+		handler(*t)
 	}
 	return scanner.Err()
 }
+
+// maxStreamLine bounds one NDJSON stream line (matches the pre-scratch
+// scanner limit).
+const maxStreamLine = 1024 * 1024
+
+// streamDecoderPool shares scratch decoders across reconnects and
+// concurrent streams; each connection checks one out for its lifetime, so
+// steady-state streaming allocates nothing per line.
+var streamDecoderPool = sync.Pool{New: func() any { return NewStreamDecoder() }}
+
+// lineBufPool recycles the scanner's initial line buffer the same way.
+var lineBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64*1024)
+	return &b
+}}
 
 func (c *Client) getJSON(ctx context.Context, path string, vals url.Values, out any) error {
 	u := c.base + path
@@ -325,10 +353,27 @@ func retryAfter(resp *http.Response, maxWait time.Duration) time.Duration {
 	return wait
 }
 
+// errBodySnippet bounds how much of a non-JSON error body is quoted in the
+// returned error.
+const errBodySnippet = 256
+
 func decodeAPIError(resp *http.Response) error {
+	// Proxies and middleboxes answer with HTML or plain text; keep a
+	// bounded snippet of whatever came back so those failures are
+	// debuggable instead of an anonymous status code.
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
 	var apiErr APIError
-	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil || apiErr.Code == 0 {
-		return fmt.Errorf("twitterapi: http %d", resp.StatusCode)
+	if err := json.Unmarshal(body, &apiErr); err != nil || apiErr.Code == 0 {
+		snippet := bytes.TrimSpace(body)
+		suffix := ""
+		if len(snippet) > errBodySnippet {
+			snippet = snippet[:errBodySnippet]
+			suffix = "..."
+		}
+		if len(snippet) == 0 {
+			return fmt.Errorf("twitterapi: http %d", resp.StatusCode)
+		}
+		return fmt.Errorf("twitterapi: http %d: %s%s", resp.StatusCode, snippet, suffix)
 	}
 	return &apiErr
 }

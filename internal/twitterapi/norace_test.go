@@ -1,0 +1,5 @@
+//go:build !race
+
+package twitterapi
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package twitterapi
+
+// raceEnabled skips allocation-count assertions under the race detector,
+// whose instrumentation changes what the runtime allocates.
+const raceEnabled = true

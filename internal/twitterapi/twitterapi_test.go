@@ -192,7 +192,7 @@ func TestStreamDeliversMentionFilteredTweets(t *testing.T) {
 		defer close(done)
 		_ = client.Stream(ctx, StreamFilter{Track: tracked}, func(tw Tweet) {
 			mu.Lock()
-			got = append(got, tw)
+			got = append(got, tw.Clone()) // retained past the callback
 			mu.Unlock()
 		})
 	}()
