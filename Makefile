@@ -14,14 +14,16 @@ RACE_PKGS := ./internal/parallel/ \
 	./internal/metrics/ \
 	./internal/trace/ \
 	./internal/twitterapi/ \
+	./internal/store/ \
 	.
 
 METRICS_COVER_MIN := 90
 TRACE_COVER_MIN := 90
+STORE_COVER_MIN := 90
 
-.PHONY: check vet vulncheck build test race bench bench-e2e bench-e2e-check cover-metrics cover-trace
+.PHONY: check vet vulncheck build test race bench bench-e2e bench-e2e-check bench-store bench-store-check cover-metrics cover-trace cover-store
 
-check: vet vulncheck build test race cover-metrics cover-trace
+check: vet vulncheck build test race cover-metrics cover-trace cover-store
 
 vet:
 	$(GO) vet ./...
@@ -79,6 +81,7 @@ bench:
 		./internal/ml/ ./internal/core/
 	$(GO) run ./cmd/benchreport -mlbench BENCH_ml.json
 	$(GO) run ./cmd/benchreport -e2ebench BENCH_e2e.json
+	$(GO) run ./cmd/benchreport -storebench BENCH_store.json
 
 # bench-e2e regenerates only the committed end-to-end hot-path baseline
 # (NDJSON ingest -> features -> classification, tweets/sec and
@@ -91,3 +94,29 @@ bench-e2e:
 # Set PH_SKIP_E2E_CHECK=1 to skip on shared or throttled machines.
 bench-e2e-check:
 	$(GO) run ./cmd/benchreport -e2echeck BENCH_e2e.json
+
+# cover-store gates internal/store at >= $(STORE_COVER_MIN)% statement
+# coverage: the WAL and checkpoint machinery is what stands between a
+# crash and silent data loss, so untested recovery branches are latent
+# divergence bugs.
+cover-store:
+	@$(GO) test -coverprofile=.store.cover ./internal/store/ > /dev/null
+	@$(GO) tool cover -func=.store.cover | awk -v min=$(STORE_COVER_MIN) \
+		'/^total:/ { gsub(/%/, "", $$3); \
+		if ($$3 + 0 < min) { printf "FAIL: internal/store coverage %s%% < %d%% gate\n", $$3, min; exit 1 } \
+		else printf "internal/store coverage %s%% (gate %d%%)\n", $$3, min }'
+	@rm -f .store.cover
+
+# bench-store regenerates the committed durable-store baseline: WAL
+# append throughput per group-commit setting, recovery time for a
+# 30k-record log, and checkpoint write latency.
+bench-store:
+	$(GO) run ./cmd/benchreport -storebench BENCH_store.json
+
+# bench-store-check measures the durability layer fresh and fails when
+# WAL appends at the largest group-commit setting would claim more than
+# 10% of the serving pipeline's per-tweet budget, or append/recovery
+# throughput regressed >25% against the committed baseline.
+# Set PH_SKIP_STORE_CHECK=1 to skip on shared or throttled machines.
+bench-store-check:
+	$(GO) run ./cmd/benchreport -storecheck BENCH_store.json

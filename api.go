@@ -16,6 +16,7 @@ import (
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/pipeline"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/store"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/twitterapi"
 )
@@ -199,6 +200,9 @@ type SnifferConfig struct {
 	CaptureCap int
 	// Stream selects and tunes the staged streaming runtime.
 	Stream StreamConfig
+	// Durability enables the WAL + checkpoint store so a crashed run can
+	// be resumed without losing captures (requires Stream.Enabled).
+	Durability DurabilityConfig
 	// Online, when set with streaming enabled, receives every capture
 	// and its stream-time provisional label from the detect stage,
 	// retraining on its sliding window as the stream drifts.
@@ -224,6 +228,18 @@ type Sniffer struct {
 	runner     *pipeline.Runner
 	ingest     *pipeline.Queue[*core.Capture]
 	labelStore *label.Store
+
+	// Durability (WAL + checkpoints), nil/zero when disabled. watermark
+	// is the highest durably-accounted tweet id at startup: the re-run
+	// simulation's tweets at or below it are already in the restored
+	// state and are skipped by the subscribe callback. lastCaptured
+	// tracks the newest captured tweet id; both are engine-goroutine
+	// state (set once at recovery, then only touched by engine hooks).
+	store        *store.Store
+	recovery     *store.Recovery
+	watermark    socialnet.TweetID
+	lastCaptured socialnet.TweetID
+	ckptEvery    int
 
 	closeOnce sync.Once
 }
@@ -260,10 +276,24 @@ func NewSniffer(sim *Simulation, cfg SnifferConfig) (*Sniffer, error) {
 		Rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
 	})
 	s := &Sniffer{sim: sim, monitor: m, cfg: cfg}
+	if cfg.Durability.enabled() {
+		if !cfg.Stream.Enabled {
+			return nil, errors.New("pseudohoneypot: durability requires the streaming pipeline (set Stream.Enabled)")
+		}
+		if err := s.openDurable(); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Stream.Enabled {
 		s.attachStreaming()
 	} else {
 		s.detach = core.Attach(m, sim.engine)
+	}
+	if s.store != nil {
+		if err := s.recoverDurable(); err != nil {
+			s.Close()
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -309,11 +339,16 @@ func (s *Sniffer) attachStreaming() {
 			for _, c := range batch {
 				m.ExtractCapture(c)
 				m.Store().Append(c)
+				if s.store != nil {
+					// WAL the capture in extraction order — the order
+					// recovery must replay to rebuild extractor state.
+					s.walAppend(c)
+				}
 			}
 			return batch
 		})
 
-	store := label.NewStore(s.labelConfig())
+	ls := label.NewStore(s.labelConfig())
 	pipeline.Through(runner, "label", qLabel, qDetect,
 		func(batch []*core.Capture) []labeledCapture {
 			tweets := make([]*socialnet.Tweet, len(batch))
@@ -324,7 +359,7 @@ func (s *Sniffer) attachStreaming() {
 				authors[i] = c.Sender
 				profiles[i] = c.SenderSnapshot()
 			}
-			provisional := store.AddBatch(tweets, authors, profiles)
+			provisional := ls.AddBatch(tweets, authors, profiles)
 			out := make([]labeledCapture, len(batch))
 			for i, c := range batch {
 				out[i] = labeledCapture{c: c, spam: provisional[i]}
@@ -348,15 +383,28 @@ func (s *Sniffer) attachStreaming() {
 	world := s.sim.world
 	s.sim.engine.OnHourStart(func(hour int, now time.Time) {
 		m.Rotate(now, time.Hour)
+		if s.store != nil && hour > 0 && hour%s.ckptEvery == 0 {
+			// Hour boundary on the engine goroutine: the producer is
+			// idle, so Drain reaches quiescence and the checkpoint is
+			// consistent. Failures are non-fatal — the WAL still covers
+			// everything since the last good checkpoint.
+			_ = s.checkpointDurable()
+		}
 	})
 	cancel := s.sim.engine.Subscribe(func(t *socialnet.Tweet) {
+		if t.ID <= s.watermark {
+			// Recovery fast-forward: this tweet's effects (capture or
+			// miss) are already in the restored state.
+			return
+		}
 		if c := m.Match(t, world.Account); c != nil {
+			s.lastCaptured = t.ID
 			// Blocking push is the backpressure contract: a full
 			// feature queue pauses the firehose right here.
 			_ = qFeature.Push(c)
 		}
 	})
-	s.runner, s.ingest, s.labelStore, s.detach = runner, qFeature, store, cancel
+	s.runner, s.ingest, s.labelStore, s.detach = runner, qFeature, ls, cancel
 }
 
 // Close detaches the sniffer from the simulation's stream and, in
@@ -367,6 +415,11 @@ func (s *Sniffer) Close() {
 		if s.runner != nil {
 			s.ingest.Close()
 			s.runner.Wait()
+		}
+		if s.store != nil {
+			// The stage graph has stopped appending; sync the WAL tail
+			// and release the directory lock.
+			_ = s.store.Close()
 		}
 	})
 }

@@ -41,6 +41,8 @@ func run() error {
 		mlBench   = flag.String("mlbench", "", "skip the experiment tables and regenerate the ML training baseline JSON at this path (e.g. BENCH_ml.json)")
 		e2eBench  = flag.String("e2ebench", "", "skip the experiment tables and regenerate the end-to-end ingest+inference baseline JSON at this path (e.g. BENCH_e2e.json)")
 		e2eCheck  = flag.String("e2echeck", "", "measure the end-to-end hot path fresh and fail if optimized tweets/sec regressed >10% vs this baseline JSON (PH_SKIP_E2E_CHECK=1 skips)")
+		stBench   = flag.String("storebench", "", "skip the experiment tables and regenerate the durable-store baseline JSON at this path (e.g. BENCH_store.json)")
+		stCheck   = flag.String("storecheck", "", "measure WAL append/recovery fresh and fail on regression or a blown overhead budget vs this baseline JSON (PH_SKIP_STORE_CHECK=1 skips)")
 	)
 	flag.Parse()
 	if *mlBench != "" {
@@ -51,6 +53,12 @@ func run() error {
 	}
 	if *e2eCheck != "" {
 		return runE2ECheck(*e2eCheck)
+	}
+	if *stBench != "" {
+		return runStoreBench(*stBench)
+	}
+	if *stCheck != "" {
+		return runStoreCheck(*stCheck)
 	}
 	if *format != "text" && *format != "csv" && *format != "json" {
 		return fmt.Errorf("unknown format %q", *format)

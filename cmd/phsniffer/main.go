@@ -10,6 +10,7 @@
 //	          [-classifier RF] [-seed 1] [-top 10]
 //	          [-stream] [-batch-size 64] [-flush-interval 25ms]
 //	          [-capture-cap 0]
+//	          [-store-dir DIR] [-sync-every 1] [-checkpoint-every 1]
 //	          [-metrics-addr :9331] [-export run.json]
 //	          [-trace-buffer 256] [-slow-span 250ms] [-log-level info]
 //	          [-pprof]
@@ -20,6 +21,16 @@
 // under ph_pipeline_* on /metrics. Results are identical to the default
 // batch mode at the same seed. -capture-cap bounds retained captures
 // (FIFO eviction past the cap; 0 keeps everything) in either mode.
+//
+// With -store-dir (implies -stream), every capture is written to a WAL in
+// that directory and the pipeline state is checkpointed each simulated
+// hour (DESIGN.md §14). A restarted phsniffer pointed at the same
+// directory recovers the durable state, fast-forwards past the hours
+// already accounted for, and continues without double-counting — the
+// final result is identical to a run that never stopped. The directory is
+// locked against concurrent runs; -sync-every groups WAL fsyncs
+// (group commit), -checkpoint-every spaces checkpoints in simulated
+// hours.
 //
 // With -metrics-addr, the process serves its live metrics registry at
 // GET /metrics (Prometheus text), GET /healthz, and — when tracing is on —
@@ -80,6 +91,9 @@ func run() error {
 		batchSize   = flag.Int("batch-size", pseudohoneypot.DefaultStreamBatchSize, "streaming micro-batch flush size")
 		flushEvery  = flag.Duration("flush-interval", pseudohoneypot.DefaultStreamFlushInterval, "streaming partial-batch age bound")
 		captureCap  = flag.Int("capture-cap", 0, "max captures retained (FIFO eviction past the cap; 0 = unbounded)")
+		storeDir    = flag.String("store-dir", "", "durable WAL+checkpoint directory; a restart against it resumes without double-counting (implies -stream)")
+		syncEvery   = flag.Int("sync-every", 1, "WAL appends per fsync (group commit; 1 = every capture durable immediately)")
+		ckptEvery   = flag.Int("checkpoint-every", 1, "simulated hours between pipeline checkpoints")
 		server      = flag.String("server", "", "twitterd base URL for remote monitoring (e.g. http://127.0.0.1:8331)")
 		metricsOn   = flag.String("metrics-addr", "", "serve GET /metrics, /healthz and /debug/traces on this address during the run")
 		export      = flag.String("export", "", "write result tables plus metrics snapshot and trace summary as JSON to this file")
@@ -120,6 +134,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *storeDir != "" {
+		*stream = true // durability rides on the stage graph's ordering
+	}
 	sniffer, err := pseudohoneypot.NewSniffer(sim, pseudohoneypot.SnifferConfig{
 		Specs:      pseudohoneypot.StandardSpecs(*perValue),
 		Classifier: pseudohoneypot.ClassifierName(*classifier),
@@ -130,11 +147,22 @@ func run() error {
 			BatchSize:     *batchSize,
 			FlushInterval: *flushEvery,
 		},
+		Durability: pseudohoneypot.DurabilityConfig{
+			Dir:             *storeDir,
+			SyncEvery:       *syncEvery,
+			CheckpointEvery: *ckptEvery,
+		},
 	})
 	if err != nil {
 		return err
 	}
 	defer sniffer.Close()
+	if rec := sniffer.Recovery(); rec != nil {
+		logger.Info("durable store recovered",
+			"dir", *storeDir, "checkpoint", rec.Checkpoint != nil,
+			"replayed_records", len(rec.Records), "torn_segments", rec.Torn,
+			"checkpoint_fallbacks", rec.Fallbacks)
+	}
 
 	specs := pseudohoneypot.StandardSpecs(*perValue)
 	nodes := 0

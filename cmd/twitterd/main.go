@@ -5,12 +5,20 @@
 // Usage:
 //
 //	twitterd [-addr :8331] [-accounts 6000] [-organic 1200] [-seed 1]
-//	         [-tick 2s] [-oracle]
+//	         [-tick 2s] [-oracle] [-store-dir DIR]
 //	         [-trace-buffer 256] [-slow-span 250ms] [-log-level info]
 //	         [-pprof]
 //
 // With -tick set, one simulated hour elapses per tick of wall time;
 // without it, advance time explicitly via POST /sim/advance.json?hours=N.
+//
+// With -store-dir, every time advance is journaled to a durable WAL in
+// that directory; a restarted twitterd replays the journal and
+// fast-forwards the (deterministically regenerated) world to the hour it
+// had reached, so clients resume against the same simulated timeline. The
+// directory is locked against a second concurrent daemon and bound to the
+// world parameters (seed, accounts, organic rate) — reopening it under
+// different ones fails instead of diverging.
 //
 // Observability: GET /metrics (Prometheus text), GET /healthz, and — when
 // -trace-buffer is positive — GET /debug/traces; -pprof additionally
@@ -22,6 +30,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
@@ -29,6 +38,7 @@ import (
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/store"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/twitterapi"
 )
@@ -51,6 +61,7 @@ func run() error {
 		seed        = flag.Int64("seed", 1, "world seed")
 		tick        = flag.Duration("tick", 0, "wall-clock duration of one simulated hour (0 = manual advance)")
 		oracle      = flag.Bool("oracle", false, "expose ground-truth spam fields on streams (evaluation only)")
+		storeDir    = flag.String("store-dir", "", "durable sim-time journal: a restarted daemon fast-forwards to the hour it had reached")
 		traceBuffer = flag.Int("trace-buffer", 256, "pipeline traces to retain for /debug/traces (0 disables tracing)")
 		slowSpan    = flag.Duration("slow-span", 250*time.Millisecond, "log a warn event for spans at least this long (0 disables)")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
@@ -83,6 +94,14 @@ func run() error {
 	engine := socialnet.NewEngine(world)
 
 	opts := []twitterapi.ServerOption{twitterapi.WithSeed(*seed)}
+	if *storeDir != "" {
+		st, journal, err := openJournal(*storeDir, *seed, *accounts, *organic, engine)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = st.Close() }()
+		opts = append(opts, journal)
+	}
 	if *oracle {
 		opts = append(opts, twitterapi.WithOracle())
 	}
@@ -137,4 +156,29 @@ func run() error {
 		return err
 	}
 	return nil
+}
+
+// openJournal opens the durable sim-time journal at dir and fast-forwards
+// engine by the recovered hours — the world regenerates deterministically
+// from its seed, so re-running the journaled hours reproduces the timeline
+// a dead daemon had reached. The returned server option journals every
+// future advance; the journal is bound (via the store's config
+// fingerprint) to the world parameters, so reopening it under a different
+// seed, account count, or organic rate fails instead of diverging.
+func openJournal(dir string, seed int64, accounts, organic int, engine *socialnet.Engine) (*store.Store, twitterapi.ServerOption, error) {
+	meta := fmt.Sprintf("twitterd|%d|%d|%d", seed, accounts, organic)
+	st, rec, err := store.Open(store.Options{Dir: dir, Meta: meta})
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec.SimHours > 0 {
+		logger.Info("replaying sim-time journal", "hours", rec.SimHours, "dir", dir)
+		engine.RunHours(rec.SimHours)
+	}
+	hook := twitterapi.WithAdvanceHook(func(hours int) {
+		if err := st.AppendSimHours(hours); err != nil {
+			logger.Error("sim-time journal append failed", "err", err)
+		}
+	})
+	return st, hook, nil
 }

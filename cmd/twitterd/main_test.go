@@ -1,0 +1,90 @@
+package main
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/store"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/twitterapi"
+)
+
+// journalWorld builds a small engine the way run() does.
+func journalWorld(t *testing.T, seed int64) *socialnet.Engine {
+	t.Helper()
+	cfg := socialnet.DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumAccounts = 300
+	cfg.OrganicTweetsPerHour = 40
+	w, err := socialnet.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return socialnet.NewEngine(w)
+}
+
+// TestSimJournalFastForwards: advances journaled through the API server
+// survive a daemon restart — the reopened journal fast-forwards a freshly
+// regenerated engine to the hour the dead daemon had reached, repeatedly.
+func TestSimJournalFastForwards(t *testing.T) {
+	dir := t.TempDir()
+
+	engine := journalWorld(t, 1)
+	st, hook, err := openJournal(dir, 1, 300, 40, engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := twitterapi.NewServer(engine, hook, twitterapi.WithMetrics(metrics.NewRegistry()))
+	api.Advance(2)
+	api.Advance(1)
+	wantNow := engine.Now()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	engine2 := journalWorld(t, 1)
+	st2, hook2, err := openJournal(dir, 1, 300, 40, engine2)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got := engine2.Now(); !got.Equal(wantNow) {
+		t.Fatalf("fast-forwarded clock = %v, want %v", got, wantNow)
+	}
+	api2 := twitterapi.NewServer(engine2, hook2, twitterapi.WithMetrics(metrics.NewRegistry()))
+	api2.Advance(4)
+	wantNow = engine2.Now()
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	engine3 := journalWorld(t, 1)
+	st3, _, err := openJournal(dir, 1, 300, 40, engine3)
+	if err != nil {
+		t.Fatalf("second reopen: %v", err)
+	}
+	defer func() { _ = st3.Close() }()
+	if got := engine3.Now(); !got.Equal(wantNow) {
+		t.Fatalf("twice-restarted clock = %v, want %v", got, wantNow)
+	}
+}
+
+// TestSimJournalRejectsForeignWorld: a journal recorded under one world
+// parameterization must refuse to drive another.
+func TestSimJournalRejectsForeignWorld(t *testing.T) {
+	dir := t.TempDir()
+	engine := journalWorld(t, 1)
+	st, hook, err := openJournal(dir, 1, 300, 40, engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := twitterapi.NewServer(engine, hook, twitterapi.WithMetrics(metrics.NewRegistry()))
+	api.Advance(1)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := openJournal(dir, 2, 300, 40, journalWorld(t, 2)); !errors.Is(err, store.ErrMetaMismatch) {
+		t.Fatalf("foreign-seed reopen error = %v, want ErrMetaMismatch", err)
+	}
+}

@@ -1,0 +1,257 @@
+package pseudohoneypot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/core"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/store"
+)
+
+// StoreBackend is the pluggable storage interface behind the durable
+// capture store: local disk in the daemons, an injected fault-filesystem
+// double in the crash tests, blob storage in a future deployment.
+type StoreBackend = store.Backend
+
+// NewDirBackend opens (creating if needed) a local-disk store backend
+// rooted at dir.
+func NewDirBackend(dir string) (StoreBackend, error) { return store.NewDir(dir) }
+
+// DurabilityConfig enables the durable capture store (DESIGN.md §14): a
+// write-ahead log of every capture plus periodic checkpoints of the
+// derived pipeline state (capture ring, label-store cluster indices,
+// extractor behaviour state, group statistics, online-detector window).
+// On restart the sniffer restores the latest checkpoint, replays the WAL
+// tail through the same extraction/labeling code the stream runs, and
+// skips already-durable tweets as the simulation re-runs — converging on
+// the state an uninterrupted run would have reached.
+//
+// Durability requires the streaming pipeline (Stream.Enabled).
+type DurabilityConfig struct {
+	// Dir roots a local-disk store; empty (with a nil Backend) disables
+	// durability.
+	Dir string
+	// Backend overrides Dir with a custom store backend. The
+	// fault-injection tests inject their filesystem double here.
+	Backend StoreBackend
+	// SyncEvery groups WAL appends per fsync (group commit). 0 or 1
+	// syncs every append — the strongest setting; larger values trade
+	// the unsynced tail on crash for throughput.
+	SyncEvery int
+	// CheckpointEvery is the number of simulated hours between
+	// checkpoints (default 1).
+	CheckpointEvery int
+}
+
+func (d DurabilityConfig) enabled() bool { return d.Dir != "" || d.Backend != nil }
+
+// Checkpoint component keys.
+const (
+	ckCaptures  = "captures"
+	ckLabels    = "labels"
+	ckExtractor = "extractor"
+	ckGroups    = "groups"
+	ckOnline    = "online"
+)
+
+// durabilityMeta fingerprints the configuration axes that change what the
+// WAL and checkpoints mean. The store refuses to open a directory written
+// under a different fingerprint — replaying another configuration's log
+// would silently diverge.
+func durabilityMeta(cfg SnifferConfig) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%d|%s|%g|%t|%d|%#v",
+		cfg.Seed, cfg.Classifier, cfg.ManualLabelErrorRate,
+		cfg.NaiveSelection, cfg.CaptureCap, cfg.Specs)))
+	return hex.EncodeToString(h[:])
+}
+
+// openDurable opens (or creates) the durable store and holds the recovery
+// state for recoverDurable to apply once the pipeline exists.
+func (s *Sniffer) openDurable() error {
+	d := s.cfg.Durability
+	b := d.Backend
+	if b == nil {
+		var err error
+		if b, err = store.NewDir(d.Dir); err != nil {
+			return err
+		}
+	}
+	st, rec, err := store.Open(store.Options{
+		Backend:   b,
+		SyncEvery: d.SyncEvery,
+		Meta:      durabilityMeta(s.cfg),
+		Metrics:   s.cfg.Metrics,
+		Tracer:    s.cfg.Tracer,
+	})
+	if err != nil {
+		return fmt.Errorf("pseudohoneypot: open durable store: %w", err)
+	}
+	s.store, s.recovery = st, rec
+	s.ckptEvery = d.CheckpointEvery
+	if s.ckptEvery <= 0 {
+		s.ckptEvery = 1
+	}
+	return nil
+}
+
+// recoverDurable applies the recovered checkpoint and replays the WAL tail
+// through the same code path the streaming stages run: AdoptCapture
+// repeats Match's bookkeeping, ExtractCapture rebuilds the vector (and the
+// extractor state), the label store re-indexes, and the online detector
+// re-observes. The watermark then tells the subscribe callback which
+// tweets of the re-run simulation are already accounted for.
+func (s *Sniffer) recoverDurable() error {
+	rec := s.recovery
+	world := s.sim.world
+	// Accounts spawned mid-run (campaign churn) do not exist yet in the
+	// re-seeded world while recovery runs — they reappear only as the
+	// simulation re-runs. Any user bound to a frozen fallback here is
+	// therefore rebound to the live account at Snapshot time, when it
+	// exists again and carries the re-run's mutations (suspensions).
+	s.labelStore.SetResolver(world.Account)
+	if ck := rec.Checkpoint; ck != nil {
+		if b, ok := ck.Components[ckCaptures]; ok {
+			if err := s.monitor.Store().ReadSnapshot(bytes.NewReader(b)); err != nil {
+				return fmt.Errorf("pseudohoneypot: restore captures: %w", err)
+			}
+		}
+		if b, ok := ck.Components[ckLabels]; ok {
+			if err := s.labelStore.ReadSnapshot(bytes.NewReader(b), world.Account); err != nil {
+				return fmt.Errorf("pseudohoneypot: restore label store: %w", err)
+			}
+		}
+		if b, ok := ck.Components[ckExtractor]; ok {
+			if err := s.monitor.Extractor().ReadSnapshot(bytes.NewReader(b)); err != nil {
+				return fmt.Errorf("pseudohoneypot: restore extractor: %w", err)
+			}
+		}
+		if b, ok := ck.Components[ckGroups]; ok {
+			var gs []core.GroupStatsSnapshot
+			if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&gs); err != nil {
+				return fmt.Errorf("pseudohoneypot: restore group stats: %w", err)
+			}
+			if err := s.monitor.RestoreGroupStats(gs); err != nil {
+				return err
+			}
+		}
+		if b, ok := ck.Components[ckOnline]; ok && s.cfg.Online != nil {
+			if err := s.cfg.Online.ReadSnapshot(bytes.NewReader(b)); err != nil {
+				return fmt.Errorf("pseudohoneypot: restore online detector: %w", err)
+			}
+		}
+		s.watermark = socialnet.TweetID(ck.TweetWatermark)
+	}
+	var lastSeq uint64
+	for _, r := range rec.Records {
+		t := &r.Tweet
+		if r.Seq <= lastSeq && lastSeq > 0 {
+			// walAppend retries a failed append into a fresh segment; when
+			// the "failed" frame nevertheless persisted (write landed, only
+			// the fsync errored) both copies decode — carrying the same
+			// sequence, because a failed append never advances it. Replay
+			// the first copy only. The key must be the sequence, not the
+			// tweet ID: one tweet mentioning nodes in different monitor
+			// groups legitimately yields several capture records.
+			continue
+		}
+		lastSeq = r.Seq
+		c, err := s.monitor.AdoptCapture(t, r.Sender, r.Receiver, r.Groups, world.Account)
+		if err != nil {
+			return fmt.Errorf("pseudohoneypot: replay capture %d: %w", t.ID, err)
+		}
+		s.monitor.ExtractCapture(c)
+		s.monitor.Store().Append(c)
+		author := c.Sender
+		if author == nil {
+			// The sender was spawned after the simulation started, so the
+			// hour-zero world cannot resolve it yet. Index the frozen
+			// profile in its place — first-appearance order is what the
+			// cluster indices depend on — and let the Snapshot-time
+			// resolver rebind the id once the re-run recreates the account.
+			author = c.SenderSnapshot()
+		}
+		provisional := s.labelStore.Add(t, author, c.SenderSnapshot())
+		if s.cfg.Online != nil {
+			_ = s.cfg.Online.Observe(c, provisional)
+		}
+		if t.ID > s.watermark {
+			s.watermark = t.ID
+		}
+	}
+	s.lastCaptured = s.watermark
+	return nil
+}
+
+// walAppend logs one freshly extracted capture. The WAL persists the
+// frozen profile snapshots, not the live accounts: replay re-extracts
+// against exactly the values the original extraction read.
+//
+// A failed append is retried once: the failure latches the broken
+// segment, so the retry rotates to a fresh one. Without the retry a
+// mid-run write fault would tear this record while later appends
+// succeed — a hole in the replayable history that the recovery
+// watermark would silently skip. If the retry also fails the backend is
+// truly down; the store's append_errors counter records it, and the
+// capture becomes durable again at the next full-state checkpoint.
+func (s *Sniffer) walAppend(c *core.Capture) {
+	rec := store.CaptureRecord{
+		Tweet:    *c.Tweet,
+		Sender:   c.SenderSnapshot(),
+		Receiver: c.ReceiverSnapshot(),
+		Groups:   c.Groups,
+	}
+	if err := s.store.AppendCapture(&rec); err != nil {
+		_ = s.store.AppendCapture(&rec)
+	}
+}
+
+// checkpointDurable runs at an hour boundary on the engine goroutine: the
+// engine (sole producer) is idle, so draining the stage graph reaches full
+// quiescence and every component can be snapshotted consistently. A failed
+// checkpoint is not fatal — the WAL still covers everything since the last
+// good one, and the store's checkpoint_errors counter records the miss.
+func (s *Sniffer) checkpointDurable() error {
+	s.runner.Drain()
+	ck := &store.Checkpoint{
+		TweetWatermark: int64(s.lastCaptured),
+		Components:     make(map[string][]byte, 5),
+	}
+	var buf bytes.Buffer
+	snap := func(key string, write func(*bytes.Buffer) error) error {
+		buf.Reset()
+		if err := write(&buf); err != nil {
+			return err
+		}
+		ck.Components[key] = append([]byte(nil), buf.Bytes()...)
+		return nil
+	}
+	err := errors.Join(
+		snap(ckCaptures, func(b *bytes.Buffer) error { return s.monitor.Store().WriteSnapshot(b) }),
+		snap(ckLabels, func(b *bytes.Buffer) error { return s.labelStore.WriteSnapshot(b) }),
+		snap(ckExtractor, func(b *bytes.Buffer) error { return s.monitor.Extractor().WriteSnapshot(b) }),
+		snap(ckGroups, func(b *bytes.Buffer) error {
+			return gob.NewEncoder(b).Encode(s.monitor.SnapshotGroupStats())
+		}),
+	)
+	if err == nil && s.cfg.Online != nil {
+		err = snap(ckOnline, func(b *bytes.Buffer) error { return s.cfg.Online.WriteSnapshot(b) })
+	}
+	if err != nil {
+		return fmt.Errorf("pseudohoneypot: checkpoint snapshot: %w", err)
+	}
+	return s.store.WriteCheckpoint(ck)
+}
+
+// DurableStore exposes the WAL/checkpoint store (nil when durability is
+// disabled) for sequence inspection and explicit syncs.
+func (s *Sniffer) DurableStore() *store.Store { return s.store }
+
+// Recovery reports what recovery found at startup: the checkpoint used,
+// how many WAL records were replayed, torn tails tolerated, and checkpoint
+// fallbacks taken. Nil when durability is disabled.
+func (s *Sniffer) Recovery() *store.Recovery { return s.recovery }

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/features"
@@ -122,11 +125,43 @@ type captureSnapshot struct {
 	Records []captureRecord
 }
 
-// WriteSnapshot spills the retained captures (oldest first) to w as a gob
-// stream, preserving the store's bound and eviction count. Traces are not
-// persisted; the unexported engine-side fields of accounts and tweets are
-// outside the capture contract and are likewise dropped.
+// Snapshot envelope: the gob payload is framed by a magic string, its
+// length, and a CRC-32C, so a spill file truncated or bit-flipped at rest
+// fails loudly at load time instead of gob silently decoding garbage into
+// plausible-looking captures.
+const (
+	captureSnapshotMagic = "PHCAP001"
+	// captureSnapshotMaxLen bounds the declared payload length so a
+	// corrupted header cannot drive a giant allocation.
+	captureSnapshotMaxLen = 1 << 32
+)
+
+var captureCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteSnapshot spills the retained captures (oldest first) to w as a
+// checksummed gob envelope, preserving the store's bound and eviction
+// count. Traces are not persisted; the unexported engine-side fields of
+// accounts and tweets are outside the capture contract and are likewise
+// dropped.
 func (s *CaptureStore) WriteSnapshot(w io.Writer) error {
+	var payload bytes.Buffer
+	if err := s.encodeSnapshot(&payload); err != nil {
+		return err
+	}
+	hdr := make([]byte, 0, len(captureSnapshotMagic)+12)
+	hdr = append(hdr, captureSnapshotMagic...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(payload.Len()))
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(payload.Bytes(), captureCRCTable))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("capture store: write snapshot header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("capture store: write snapshot payload: %w", err)
+	}
+	return nil
+}
+
+func (s *CaptureStore) encodeSnapshot(w io.Writer) error {
 	snap := captureSnapshot{Cap: s.capLimit, Evicted: s.evicted}
 	snap.Records = make([]captureRecord, 0, s.size)
 	s.Range(func(_ int, c *Capture) bool {
@@ -156,12 +191,33 @@ func (s *CaptureStore) WriteSnapshot(w io.Writer) error {
 }
 
 // ReadSnapshot replaces the store's contents with a snapshot previously
-// written by WriteSnapshot. The restored captures are rebuilt oldest-first
-// through the same Append path, so a snapshot wider than the store's own
-// bound is re-evicted deterministically.
+// written by WriteSnapshot. The envelope checksum is verified before any
+// state is touched — a truncated or corrupted spill leaves the store
+// unchanged and returns an error. The restored captures are rebuilt
+// oldest-first through the same Append path, so a snapshot wider than the
+// store's own bound is re-evicted deterministically.
 func (s *CaptureStore) ReadSnapshot(r io.Reader) error {
+	hdr := make([]byte, len(captureSnapshotMagic)+12)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return fmt.Errorf("capture store: read snapshot header: %w", err)
+	}
+	if string(hdr[:len(captureSnapshotMagic)]) != captureSnapshotMagic {
+		return fmt.Errorf("capture store: not a capture snapshot (bad magic)")
+	}
+	n := binary.LittleEndian.Uint64(hdr[len(captureSnapshotMagic):])
+	wantCRC := binary.LittleEndian.Uint32(hdr[len(captureSnapshotMagic)+8:])
+	if n > captureSnapshotMaxLen {
+		return fmt.Errorf("capture store: snapshot declares %d payload bytes", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("capture store: snapshot truncated: %w", err)
+	}
+	if got := crc32.Checksum(payload, captureCRCTable); got != wantCRC {
+		return fmt.Errorf("capture store: snapshot checksum mismatch (%08x != %08x)", got, wantCRC)
+	}
 	var snap captureSnapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
 		return fmt.Errorf("capture store: decode snapshot: %w", err)
 	}
 	s.buf = nil

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+)
+
+// TestCaptureSnapshotRejectsCorruption is the spill-integrity regression
+// test: a snapshot with a flipped payload byte, a truncated tail, or a
+// foreign header must fail loudly and leave the store untouched.
+func TestCaptureSnapshotRejectsCorruption(t *testing.T) {
+	src := NewCaptureStore(0, metrics.NewRegistry())
+	for i := 0; i < 10; i++ {
+		src.Append(fakeCapture(i))
+	}
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	load := func(data []byte) error {
+		dst := NewCaptureStore(0, metrics.NewRegistry())
+		err := dst.ReadSnapshot(bytes.NewReader(data))
+		if err == nil && dst.Len() != 10 {
+			t.Fatalf("clean load restored %d captures, want 10", dst.Len())
+		}
+		if err != nil && dst.Len() != 0 {
+			t.Fatal("failed load left partial state in the store")
+		}
+		return err
+	}
+
+	if err := load(good); err != nil {
+		t.Fatalf("clean snapshot rejected: %v", err)
+	}
+	// Flip one byte in the gob payload (past the 20-byte header): the CRC
+	// must catch it even though gob might happily decode the result.
+	for _, off := range []int{20, len(good) / 2, len(good) - 1} {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0xff
+		if err := load(bad); err == nil {
+			t.Fatalf("flipped byte at %d accepted", off)
+		}
+	}
+	if err := load(good[:len(good)-3]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	if err := load(good[:10]); err == nil {
+		t.Fatal("header-only snapshot accepted")
+	}
+	if err := load([]byte("GARBAGE!xxxxyyyyzzzz")); err == nil {
+		t.Fatal("foreign magic accepted")
+	}
+}
+
+// TestOnlineDetectorSnapshotRoundTrip: window, counters, and the refit
+// model survive serialization; subsequent observations behave like the
+// uninterrupted detector's schedule.
+func TestOnlineDetectorSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	online, err := NewOnlineDetector(ClassifierDT, 100, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 55; i++ {
+		c, label := driftCapture(rng, rng.Float64() < 0.4, 0)
+		if err := online.Observe(c, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := online.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := NewOnlineDetector(ClassifierDT, 100, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Retrains() != online.Retrains() {
+		t.Fatalf("restored retrains = %d, want %d", restored.Retrains(), online.Retrains())
+	}
+	if restored.WindowSize() != online.WindowSize() {
+		t.Fatalf("restored window = %d, want %d", restored.WindowSize(), online.WindowSize())
+	}
+	// The recovery refit produced a live model.
+	c, _ := driftCapture(rng, true, 0)
+	restored.Classify(c)
+	// Subsequent retrains run on the preserved schedule and seed sequence.
+	rngA, rngB := rand.New(rand.NewSource(9)), rand.New(rand.NewSource(9))
+	for i := 0; i < 40; i++ {
+		ca, la := driftCapture(rngA, rngA.Float64() < 0.4, 0)
+		cb, lb := driftCapture(rngB, rngB.Float64() < 0.4, 0)
+		if err := online.Observe(ca, la); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Observe(cb, lb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if restored.Retrains() != online.Retrains() {
+		t.Fatalf("post-restore retrain schedule diverged: %d vs %d",
+			restored.Retrains(), online.Retrains())
+	}
+
+	if err := restored.ReadSnapshot(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage online snapshot accepted")
+	}
+}
+
+// newSnapshotMonitor builds a monitor with two selector groups for the
+// group-stats and adoption tests.
+func newSnapshotMonitor(t *testing.T) *Monitor {
+	t.Helper()
+	specs := []SelectorSpec{
+		{Selector: socialnet.Selector{Attr: socialnet.AttrFollowers, Value: 100}, Nodes: 2},
+		{Selector: socialnet.Selector{Attr: socialnet.AttrFriends, Value: 50}, Nodes: 2},
+	}
+	return NewMonitor(MonitorConfig{Specs: specs, Seed: 1, Metrics: metrics.NewRegistry()}, nil)
+}
+
+// TestGroupStatsSnapshotRoundTrip: replay-dependent counters transfer to a
+// fresh monitor with the same specs; mismatched shapes are rejected.
+func TestGroupStatsSnapshotRoundTrip(t *testing.T) {
+	m := newSnapshotMonitor(t)
+	g := m.Groups()[0]
+	g.Tweets = 4
+	g.Senders[11] = struct{}{}
+	g.Senders[12] = struct{}{}
+	g.Spams = 2
+	g.Spammers[11] = struct{}{}
+
+	snap := m.SnapshotGroupStats()
+	m2 := newSnapshotMonitor(t)
+	if err := m2.RestoreGroupStats(snap); err != nil {
+		t.Fatal(err)
+	}
+	for gi := range m.Groups() {
+		a, b := m.Groups()[gi], m2.Groups()[gi]
+		if a.Tweets != b.Tweets || a.Spams != b.Spams ||
+			!reflect.DeepEqual(a.Senders, b.Senders) ||
+			!reflect.DeepEqual(a.Spammers, b.Spammers) {
+			t.Fatalf("group %d diverged after restore", gi)
+		}
+	}
+	if err := m2.RestoreGroupStats(snap[:1]); err == nil {
+		t.Fatal("short snapshot accepted")
+	}
+}
+
+// TestAdoptCaptureRepeatsBookkeeping: adopting a WAL record performs the
+// same group accounting Match would, resolves live accounts, and keeps the
+// logged profile snapshots for extraction.
+func TestAdoptCaptureRepeatsBookkeeping(t *testing.T) {
+	m := newSnapshotMonitor(t)
+	live := map[socialnet.AccountID]*socialnet.Account{
+		5: {ID: 5, ScreenName: "sender_live"},
+		7: {ID: 7, ScreenName: "node_live"},
+	}
+	lookup := func(id socialnet.AccountID) *socialnet.Account { return live[id] }
+	tw := &socialnet.Tweet{ID: 1, AuthorID: 5, Mentions: []socialnet.AccountID{7}}
+	senderSnap := &socialnet.Account{ID: 5, ScreenName: "sender_frozen"}
+	receiverSnap := &socialnet.Account{ID: 7, ScreenName: "node_frozen"}
+
+	c, err := m.AdoptCapture(tw, senderSnap, receiverSnap, []int{1}, lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sender != live[5] || c.Receiver != live[7] {
+		t.Fatal("adopted capture not bound to live accounts")
+	}
+	if c.SenderSnapshot() != senderSnap || c.ReceiverSnapshot() != receiverSnap {
+		t.Fatal("adopted capture lost its logged profile snapshots")
+	}
+	g := m.Groups()[1]
+	if g.Tweets != 1 {
+		t.Fatalf("group tweets = %d, want 1", g.Tweets)
+	}
+	if _, ok := g.Senders[5]; !ok {
+		t.Fatal("sender not recorded in group")
+	}
+	if other := m.Groups()[0]; other.Tweets != 0 {
+		t.Fatal("unrelated group mutated")
+	}
+
+	if _, err := m.AdoptCapture(tw, nil, nil, []int{9}, lookup); err == nil {
+		t.Fatal("out-of-range group index accepted")
+	}
+	// ExtractCapture works on an adopted capture (snapshots present).
+	m.ExtractCapture(c)
+}

@@ -1,0 +1,112 @@
+package features
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+)
+
+// The extractor accumulates behavioural state in stream order, so a crash
+// mid-stream loses every per-account history. WriteSnapshot/ReadSnapshot
+// serialize that state for the durable checkpoint (DESIGN.md §14): an
+// extractor restored from a snapshot produces bit-identical vectors for the
+// remainder of the stream, because every behavioural feature is a pure
+// function of the state captured here.
+
+// historySnapshot mirrors history with exported fields for gob.
+type historySnapshot struct {
+	KindCounts   [3]int64
+	SourceCounts [socialnet.NumSources]int64
+	Total        int64
+	LastTweetAt  time.Time
+	IntervalSum  time.Duration
+	IntervalN    int64
+}
+
+// pairSnapshot mirrors one pairs entry; the map key has unexported fields,
+// so the map is flattened to a slice.
+type pairSnapshot struct {
+	A, B socialnet.AccountID
+	N    int
+}
+
+// extractorSnapshot is the gob payload.
+type extractorSnapshot struct {
+	Tau       float64
+	Histories map[socialnet.AccountID]historySnapshot
+	Pairs     []pairSnapshot
+	TextSeen  map[string]int
+	EnvScores map[string]float64
+	LastPost  map[socialnet.AccountID]time.Time
+}
+
+// WriteSnapshot serializes the extractor's behavioural state to w.
+func (e *Extractor) WriteSnapshot(w io.Writer) error {
+	snap := extractorSnapshot{
+		Tau:       e.tau,
+		Histories: make(map[socialnet.AccountID]historySnapshot, len(e.histories)),
+		Pairs:     make([]pairSnapshot, 0, len(e.pairs)),
+		TextSeen:  e.textSeen,
+		EnvScores: e.envScores,
+		LastPost:  e.lastPost,
+	}
+	for id, h := range e.histories {
+		snap.Histories[id] = historySnapshot{
+			KindCounts:   h.kindCounts,
+			SourceCounts: h.sourceCounts,
+			Total:        h.total,
+			LastTweetAt:  h.lastTweetAt,
+			IntervalSum:  h.intervalSum,
+			IntervalN:    h.intervalN,
+		}
+	}
+	for k, n := range e.pairs {
+		snap.Pairs = append(snap.Pairs, pairSnapshot{A: k.a, B: k.b, N: n})
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("features: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot replaces the extractor's behavioural state with a snapshot
+// previously written by WriteSnapshot. On decode error the extractor is
+// left unchanged.
+func (e *Extractor) ReadSnapshot(r io.Reader) error {
+	var snap extractorSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("features: decode snapshot: %w", err)
+	}
+	e.tau = snap.Tau
+	e.histories = make(map[socialnet.AccountID]*history, len(snap.Histories))
+	for id, hs := range snap.Histories {
+		e.histories[id] = &history{
+			kindCounts:   hs.KindCounts,
+			sourceCounts: hs.SourceCounts,
+			total:        hs.Total,
+			lastTweetAt:  hs.LastTweetAt,
+			intervalSum:  hs.IntervalSum,
+			intervalN:    hs.IntervalN,
+		}
+	}
+	e.pairs = make(map[pairKey]int, len(snap.Pairs))
+	for _, p := range snap.Pairs {
+		e.pairs[pairKey{a: p.A, b: p.B}] = p.N
+	}
+	e.textSeen = snap.TextSeen
+	if e.textSeen == nil {
+		e.textSeen = make(map[string]int)
+	}
+	e.envScores = snap.EnvScores
+	if e.envScores == nil {
+		e.envScores = make(map[string]float64)
+	}
+	e.lastPost = snap.LastPost
+	if e.lastPost == nil {
+		e.lastPost = make(map[socialnet.AccountID]time.Time)
+	}
+	return nil
+}

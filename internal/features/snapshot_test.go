@@ -1,0 +1,93 @@
+package features
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/simclock"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+)
+
+// snapshotObservations builds a deterministic stream exercising every
+// piece of behavioural state: repeated texts, reciprocity pairs, interval
+// accumulation, env scores.
+func snapshotObservations(n int) []Observation {
+	obs := make([]Observation, 0, n)
+	for i := 0; i < n; i++ {
+		at := simclock.Epoch.Add(time.Duration(i*7) * time.Minute)
+		tw := testTweet(socialnet.TweetID(i+1), socialnet.AccountID(i%5+1), at,
+			fmt.Sprintf("text body %d", i%3))
+		tw.Kind = socialnet.TweetKind(i%3 + 1)
+		tw.Source = socialnet.Source(i%socialnet.NumSources + 1)
+		o := Observation{Tweet: tw, Sender: testAccount(socialnet.AccountID(i%5 + 1))}
+		if i%2 == 0 {
+			o.Receiver = testAccount(socialnet.AccountID(i%3 + 10))
+			o.AttrKeys = []string{"followers"}
+		}
+		obs = append(obs, o)
+	}
+	return obs
+}
+
+// TestExtractorSnapshotResumesStream: vectors extracted after a
+// snapshot/restore must be bit-identical to an uninterrupted extractor's.
+func TestExtractorSnapshotResumesStream(t *testing.T) {
+	obs := snapshotObservations(60)
+	half := len(obs) / 2
+
+	uninterrupted := NewExtractor()
+	uninterrupted.UpdateEnvScore("followers", 0.25)
+	var want []Vector
+	for _, o := range obs {
+		want = append(want, uninterrupted.Extract(o))
+	}
+
+	first := NewExtractor()
+	first.UpdateEnvScore("followers", 0.25)
+	for _, o := range obs[:half] {
+		first.Extract(o)
+	}
+	var buf bytes.Buffer
+	if err := first.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewExtractor()
+	if err := restored.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range obs[half:] {
+		got := restored.Extract(o)
+		if got != want[half+i] {
+			t.Fatalf("vector %d diverged after restore:\n got %v\nwant %v",
+				half+i, got, want[half+i])
+		}
+	}
+}
+
+// TestExtractorSnapshotRejectsGarbage: a decode failure reports an error
+// and leaves the extractor usable.
+func TestExtractorSnapshotRejectsGarbage(t *testing.T) {
+	e := NewExtractor()
+	if err := e.ReadSnapshot(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+	// Still usable after the failed restore.
+	e.Extract(Observation{Tweet: testTweet(1, 1, simclock.Epoch, "x"), Sender: testAccount(1)})
+}
+
+// TestExtractorSnapshotEmpty round-trips a pristine extractor.
+func TestExtractorSnapshotEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewExtractor().WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e := NewExtractor()
+	if err := e.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.EnvScore(nil); got != DefaultTau {
+		t.Fatalf("restored tau = %v, want %v", got, DefaultTau)
+	}
+}

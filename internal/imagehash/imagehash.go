@@ -286,3 +286,18 @@ func (g *Grouper) findParallel(h Hash) int {
 
 // Len returns the number of groups formed so far.
 func (g *Grouper) Len() int { return len(g.reps) }
+
+// Reps returns a copy of the group representatives in group-id order, for
+// checkpointing. Restoring the same slice via SetReps reproduces identical
+// group assignments for subsequent Add calls.
+func (g *Grouper) Reps() []Hash {
+	out := make([]Hash, len(g.reps))
+	copy(out, g.reps)
+	return out
+}
+
+// SetReps replaces the representative list, discarding any current groups.
+// It is the restore half of Reps and is intended for crash recovery.
+func (g *Grouper) SetReps(reps []Hash) {
+	g.reps = append(g.reps[:0:0], reps...)
+}

@@ -65,6 +65,10 @@ type Store struct {
 	// Rule state for provisional labels.
 	repeats map[string]int
 
+	// resolve, when set, rebinds user ids to live accounts at Snapshot
+	// time (see SetResolver).
+	resolve func(socialnet.AccountID) *socialnet.Account
+
 	lastTrace *trace.Trace
 }
 
@@ -88,6 +92,22 @@ func NewStore(cfg Config) *Store {
 	}
 	s.img.SetWorkers(cfg.Workers)
 	return s
+}
+
+// SetResolver installs a live-account resolver consulted when Snapshot
+// builds its corpus: each user id is rebound to resolve(id) when that
+// returns non-nil, falling back to the account Add stored. In normal
+// streaming the stored account already is the live one and the rebinding
+// is a no-op; crash recovery needs it because WAL replay runs before the
+// re-seeded simulation has recreated accounts that were spawned mid-run
+// (campaign churn), so replayed authors can only be bound to their frozen
+// capture-time profiles — stale by labeling time. Resolving at Snapshot
+// instead restores the invariant that labeling reads the engine-mutated
+// profile state, exactly as an uninterrupted run would.
+func (s *Store) SetResolver(resolve func(socialnet.AccountID) *socialnet.Account) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resolve = resolve
 }
 
 // tweetPrep is the precomputed (parallelizable) part of one tweet add.
@@ -268,6 +288,11 @@ func (s *Store) Snapshot(oracle Oracle) *Result {
 		Users:  make(map[socialnet.AccountID]*socialnet.Account, len(s.users)),
 	}
 	for id, u := range s.users {
+		if s.resolve != nil {
+			if live := s.resolve(id); live != nil {
+				u = live
+			}
+		}
 		c.Users[id] = u
 	}
 	p := NewPipeline(s.cfg)

@@ -1,0 +1,85 @@
+package store_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/store"
+)
+
+func TestDirBackendBasics(t *testing.T) {
+	if _, err := store.NewDir(""); err == nil {
+		t.Error("NewDir(\"\") succeeded")
+	}
+	dir := t.TempDir()
+	d, err := store.NewDir(filepath.Join(dir, "nested", "sub"))
+	if err != nil {
+		t.Fatalf("NewDir nested: %v", err)
+	}
+	if d.Path() == "" {
+		t.Error("empty Path()")
+	}
+	f, err := d.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Remove("a"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := d.Remove("a"); err != nil {
+		t.Fatalf("Remove of absent file: %v", err)
+	}
+	if _, err := d.Open("a"); err == nil {
+		t.Error("Open of removed file succeeded")
+	}
+	if err := d.Rename("ghost", "b"); err == nil {
+		t.Error("Rename of absent file succeeded")
+	}
+	names, err := d.List()
+	if err != nil || len(names) != 0 {
+		t.Errorf("List = (%v, %v), want empty", names, err)
+	}
+}
+
+func TestDirLockGarbledPidReclaimed(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "LOCK"), []byte("not-a-pid"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := store.NewDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release, err := d.Lock()
+	if err != nil {
+		t.Fatalf("Lock over garbled lock file: %v", err)
+	}
+	if _, err := d.Lock(); !errors.Is(err, store.ErrLocked) {
+		t.Fatalf("re-Lock: %v, want ErrLocked", err)
+	}
+	if err := release(); err != nil {
+		t.Fatal(err)
+	}
+	// pid <= 0 in the lock file is never treated as alive.
+	if err := os.WriteFile(filepath.Join(dir, "LOCK"), []byte("-1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	release2, err := d.Lock()
+	if err != nil {
+		t.Fatalf("Lock over pid -1: %v", err)
+	}
+	if err := release2(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Checkpoint is a consistent cut of the pipeline's derived state at one
+// capture sequence number. The store treats component payloads as opaque
+// blobs — the sniffer fills them with the capture ring, the label-store
+// cluster indices, the extractor behaviour state, the per-group capture
+// statistics, and the online detector's labeled window — so new
+// components ride along without a store format change.
+//
+// Consistency contract: the writer must be quiescent across every
+// component when it cuts the checkpoint (the sniffer drains the stage
+// graph first), so a single Seq covers all components and recovery
+// replays exactly the WAL records with Seq greater than it.
+type Checkpoint struct {
+	// Seq is the last capture sequence the checkpoint covers.
+	Seq uint64
+	// TweetWatermark is the stream position (engine tweet id) of the
+	// last covered capture; a recovering sniffer skips stream tweets at
+	// or below max(checkpoint, replay) watermark to resume exactly-once.
+	TweetWatermark int64
+	// Components maps a component name to its serialized state.
+	Components map[string][]byte
+}
+
+// Checkpoint files wrap the gob payload in the same CRC framing the WAL
+// uses (magic, length, CRC-32C), so a half-written or bit-flipped
+// checkpoint is detected and recovery falls back to the previous one
+// instead of silently loading garbage.
+const checkpointMagic = "PHCKP001"
+
+// writeCheckpointFile atomically publishes ck: encode to a temp file,
+// sync, close, then rename onto the final name.
+func writeCheckpointFile(b Backend, ck *Checkpoint) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(ck); err != nil {
+		return fmt.Errorf("store: encode checkpoint: %w", err)
+	}
+	name := checkpointName(ck.Seq)
+	tmp := name + tmpSuffix
+	f, err := b.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: create checkpoint: %w", err)
+	}
+	var hdr [16]byte
+	copy(hdr[:8], checkpointMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(payload.Bytes(), castagnoli))
+	_, werr := f.Write(hdr[:])
+	if werr == nil {
+		_, werr = f.Write(payload.Bytes())
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = b.Remove(tmp)
+		return fmt.Errorf("store: write checkpoint: %w", werr)
+	}
+	if err := b.Rename(tmp, name); err != nil {
+		_ = b.Remove(tmp)
+		return fmt.Errorf("store: publish checkpoint: %w", err)
+	}
+	return nil
+}
+
+// readCheckpointFile loads and verifies one checkpoint file.
+func readCheckpointFile(b Backend, seq uint64) (*Checkpoint, error) {
+	f, err := b.Open(checkpointName(seq))
+	if err != nil {
+		return nil, fmt.Errorf("store: open checkpoint %d: %w", seq, err)
+	}
+	defer func() { _ = f.Close() }()
+	var hdr [16]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, fmt.Errorf("store: checkpoint %d header: %w", seq, err)
+	}
+	if string(hdr[:8]) != checkpointMagic {
+		return nil, fmt.Errorf("store: checkpoint %d bad magic", seq)
+	}
+	length := binary.LittleEndian.Uint32(hdr[8:12])
+	wantCRC := binary.LittleEndian.Uint32(hdr[12:16])
+	if length > MaxRecordSize {
+		return nil, fmt.Errorf("store: checkpoint %d implausible length %d", seq, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return nil, fmt.Errorf("store: checkpoint %d payload: %w", seq, err)
+	}
+	if crc32.Checksum(payload, castagnoli) != wantCRC {
+		return nil, fmt.Errorf("store: checkpoint %d checksum mismatch", seq)
+	}
+	ck := &Checkpoint{}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(ck); err != nil {
+		return nil, fmt.Errorf("store: decode checkpoint %d: %w", seq, err)
+	}
+	if ck.Seq != seq {
+		return nil, fmt.Errorf("store: checkpoint file %d claims seq %d", seq, ck.Seq)
+	}
+	return ck, nil
+}

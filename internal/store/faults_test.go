@@ -1,0 +1,120 @@
+package store_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/store"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/store/fstest"
+)
+
+func TestCheckpointWriteFaults(t *testing.T) {
+	t.Run("create fails", func(t *testing.T) {
+		b := fstest.New()
+		s, _ := openTest(t, b, 1)
+		defer func() { _ = s.Close() }()
+		appendN(t, s, 0, 2)
+		b.FailAfter(fstest.OpCreate, 1)
+		if err := s.WriteCheckpoint(&store.Checkpoint{}); !errors.Is(err, fstest.ErrInjected) {
+			t.Fatalf("checkpoint with create fault: %v", err)
+		}
+		// The store stays writable after a failed checkpoint.
+		appendN(t, s, 2, 1)
+	})
+	t.Run("rename fails", func(t *testing.T) {
+		b := fstest.New()
+		s, _ := openTest(t, b, 1)
+		defer func() { _ = s.Close() }()
+		appendN(t, s, 0, 2)
+		b.FailAfter(fstest.OpRename, 1)
+		if err := s.WriteCheckpoint(&store.Checkpoint{}); !errors.Is(err, fstest.ErrInjected) {
+			t.Fatalf("checkpoint with rename fault: %v", err)
+		}
+		// The half-published temp file must not pollute later recovery.
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s2, rec := openTest(t, b, 1)
+		defer func() { _ = s2.Close() }()
+		if rec.Checkpoint != nil {
+			t.Fatalf("failed checkpoint resurfaced: %+v", rec.Checkpoint)
+		}
+		if len(rec.Records) != 2 {
+			t.Fatalf("recovered %d records, want 2", len(rec.Records))
+		}
+	})
+	t.Run("checkpoint sync fails", func(t *testing.T) {
+		b := fstest.New()
+		s, _ := openTest(t, b, 1)
+		defer func() { _ = s.Close() }()
+		appendN(t, s, 0, 2)
+		b.FailAfter(fstest.OpSync, 1)
+		if err := s.WriteCheckpoint(&store.Checkpoint{}); !errors.Is(err, fstest.ErrInjected) {
+			t.Fatalf("checkpoint with sync fault: %v", err)
+		}
+	})
+}
+
+func TestClosedStoreRefusesOperations(t *testing.T) {
+	b := fstest.New()
+	s, _ := openTest(t, b, 1)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := s.AppendCapture(testCapture(0)); err == nil {
+		t.Error("append on closed store succeeded")
+	}
+	if err := s.AppendSimHours(1); err == nil {
+		t.Error("sim-hours append on closed store succeeded")
+	}
+	if err := s.Sync(); err == nil {
+		t.Error("sync on closed store succeeded")
+	}
+	if err := s.WriteCheckpoint(&store.Checkpoint{}); err == nil {
+		t.Error("checkpoint on closed store succeeded")
+	}
+}
+
+func TestSegmentCreateFaultOnRotation(t *testing.T) {
+	b := fstest.New()
+	s, _ := openTest(t, b, 1)
+	defer func() { _ = s.Close() }()
+	b.FailAfter(fstest.OpCreate, 1)
+	if err := s.AppendCapture(testCapture(0)); !errors.Is(err, fstest.ErrInjected) {
+		t.Fatalf("append with segment-create fault: %v", err)
+	}
+	// The next append retries the rotation and succeeds.
+	appendN(t, s, 1, 2)
+	if s.Seq() != 2 {
+		t.Errorf("Seq() = %d, want 2", s.Seq())
+	}
+}
+
+func TestListFaultFailsOpen(t *testing.T) {
+	b := fstest.New()
+	b.FailAfter(fstest.OpList, 1)
+	if _, _, err := store.Open(store.Options{Backend: b}); !errors.Is(err, fstest.ErrInjected) {
+		t.Fatalf("Open with list fault: %v", err)
+	}
+	// The failed Open must release the lock.
+	s, _ := openTest(t, b, 1)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFaultDuringRecovery(t *testing.T) {
+	b := fstest.New()
+	s, _ := openTest(t, b, 1)
+	appendN(t, s, 0, 3)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b.FailAfter(fstest.OpRead, 1)
+	if _, _, err := store.Open(store.Options{Backend: b}); !errors.Is(err, fstest.ErrInjected) {
+		t.Fatalf("Open with read fault: %v", err)
+	}
+}

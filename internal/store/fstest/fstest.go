@@ -1,0 +1,289 @@
+// Package fstest is the fault-injection double of store.Backend: an
+// in-memory filesystem that tracks the synced and unsynced portion of
+// every file, simulates a crash by discarding everything not yet fsynced
+// (optionally leaving torn bytes of a half-flushed record behind), fails
+// scripted operations on demand, and serves reads in deliberately short
+// chunks. Store tests use it to exercise recovery paths deterministically
+// — no real disk, no sleeps, no flaky kill -9.
+package fstest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/store"
+)
+
+// Op identifies a backend operation for fault scripting.
+type Op string
+
+// Scriptable operations.
+const (
+	OpCreate Op = "create"
+	OpWrite  Op = "write"
+	OpSync   Op = "sync"
+	OpClose  Op = "close"
+	OpOpen   Op = "open"
+	OpRead   Op = "read"
+	OpRename Op = "rename"
+	OpRemove Op = "remove"
+	OpList   Op = "list"
+)
+
+// ErrInjected is the root of every scripted failure.
+var ErrInjected = errors.New("fstest: injected fault")
+
+type file struct {
+	// synced is the durable prefix; unsynced is everything written since
+	// the last sync. A crash keeps synced and discards unsynced.
+	synced   []byte
+	unsynced []byte
+}
+
+// Backend is the in-memory fault-injectable store.Backend.
+type Backend struct {
+	mu     sync.Mutex
+	files  map[string]*file
+	faults map[Op][]int // remaining op counts until each scheduled fault
+	ops    map[Op]int   // operations performed, by type
+	locked bool
+	// ReadChunk caps bytes returned per Read call (0 = unlimited),
+	// simulating short reads.
+	ReadChunk int
+}
+
+// New returns an empty backend.
+func New() *Backend {
+	return &Backend{
+		files:  make(map[string]*file),
+		faults: make(map[Op][]int),
+		ops:    make(map[Op]int),
+	}
+}
+
+// FailAfter schedules the n-th next operation of type op (1-based) to
+// fail with ErrInjected. Multiple schedules on one op queue up.
+func (b *Backend) FailAfter(op Op, n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.faults[op] = append(b.faults[op], b.ops[op]+n)
+}
+
+// Ops returns how many operations of type op have run.
+func (b *Backend) Ops(op Op) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ops[op]
+}
+
+// step counts one operation and reports whether it must fail.
+func (b *Backend) step(op Op) error {
+	b.ops[op]++
+	pend := b.faults[op]
+	for i, at := range pend {
+		if b.ops[op] == at {
+			b.faults[op] = append(pend[:i], pend[i+1:]...)
+			return fmt.Errorf("%w: %s #%d", ErrInjected, op, at)
+		}
+	}
+	return nil
+}
+
+// Crash simulates the machine dying: every file's unsynced bytes are
+// discarded, keeping tornBytes of them (capped to what exists) as a
+// half-flushed tail, and the lock is abandoned as a dead process's would
+// be. The backend stays usable — reopening it is the restart.
+func (b *Backend) Crash(tornBytes int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, f := range b.files {
+		keep := tornBytes
+		if keep > len(f.unsynced) {
+			keep = len(f.unsynced)
+		}
+		f.synced = append(f.synced, f.unsynced[:keep]...)
+		f.unsynced = nil
+	}
+	b.locked = false
+}
+
+// CorruptSynced flips one byte of a file's durable content, for
+// checksum-detection tests. It reports whether the file was found and
+// long enough.
+func (b *Backend) CorruptSynced(name string, offset int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f, ok := b.files[name]
+	if !ok || offset >= len(f.synced) {
+		return false
+	}
+	f.synced[offset] ^= 0xff
+	return true
+}
+
+// Size returns a file's total length (synced + unsynced), -1 when absent.
+func (b *Backend) Size(name string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f, ok := b.files[name]
+	if !ok {
+		return -1
+	}
+	return len(f.synced) + len(f.unsynced)
+}
+
+type writeFile struct {
+	b    *Backend
+	f    *file
+	done bool
+}
+
+func (w *writeFile) Write(p []byte) (int, error) {
+	w.b.mu.Lock()
+	defer w.b.mu.Unlock()
+	if err := w.b.step(OpWrite); err != nil {
+		// A failed write may still tear a prefix into the file — that is
+		// exactly what a short write on a full disk does.
+		if len(p) > 1 {
+			w.f.unsynced = append(w.f.unsynced, p[:len(p)/2]...)
+		}
+		return 0, err
+	}
+	w.f.unsynced = append(w.f.unsynced, p...)
+	return len(p), nil
+}
+
+func (w *writeFile) Sync() error {
+	w.b.mu.Lock()
+	defer w.b.mu.Unlock()
+	if err := w.b.step(OpSync); err != nil {
+		return err
+	}
+	w.f.synced = append(w.f.synced, w.f.unsynced...)
+	w.f.unsynced = nil
+	return nil
+}
+
+func (w *writeFile) Close() error {
+	w.b.mu.Lock()
+	defer w.b.mu.Unlock()
+	if w.done {
+		return errors.New("fstest: double close")
+	}
+	w.done = true
+	return w.b.step(OpClose)
+}
+
+// Create implements store.Backend.
+func (b *Backend) Create(name string) (store.WriteFile, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.step(OpCreate); err != nil {
+		return nil, err
+	}
+	f := &file{}
+	b.files[name] = f
+	return &writeFile{b: b, f: f}, nil
+}
+
+type readFile struct {
+	b *Backend
+	r *bytes.Reader
+}
+
+func (r *readFile) Read(p []byte) (int, error) {
+	r.b.mu.Lock()
+	chunk := r.b.ReadChunk
+	err := r.b.step(OpRead)
+	r.b.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if chunk > 0 && len(p) > chunk {
+		p = p[:chunk]
+	}
+	return r.r.Read(p)
+}
+
+func (r *readFile) Close() error { return nil }
+
+// Open implements store.Backend. Reads see written-but-unsynced bytes,
+// like the OS page cache does; only a Crash makes them vanish.
+func (b *Backend) Open(name string) (io.ReadCloser, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.step(OpOpen); err != nil {
+		return nil, err
+	}
+	f, ok := b.files[name]
+	if !ok {
+		return nil, fmt.Errorf("fstest: open %s: file does not exist", name)
+	}
+	data := make([]byte, 0, len(f.synced)+len(f.unsynced))
+	data = append(data, f.synced...)
+	data = append(data, f.unsynced...)
+	return &readFile{b: b, r: bytes.NewReader(data)}, nil
+}
+
+// Rename implements store.Backend (atomic, like POSIX rename).
+func (b *Backend) Rename(oldName, newName string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.step(OpRename); err != nil {
+		return err
+	}
+	f, ok := b.files[oldName]
+	if !ok {
+		return fmt.Errorf("fstest: rename %s: file does not exist", oldName)
+	}
+	delete(b.files, oldName)
+	b.files[newName] = f
+	return nil
+}
+
+// Remove implements store.Backend.
+func (b *Backend) Remove(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.step(OpRemove); err != nil {
+		return err
+	}
+	delete(b.files, name)
+	return nil
+}
+
+// List implements store.Backend.
+func (b *Backend) List() ([]string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.step(OpList); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(b.files))
+	for n := range b.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Lock implements store.Backend with an in-process flag; Crash abandons
+// it the way a dead process abandons a stale pid file.
+func (b *Backend) Lock() (func() error, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.locked {
+		return nil, store.ErrLocked
+	}
+	b.locked = true
+	return func() error {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.locked = false
+		return nil
+	}, nil
+}

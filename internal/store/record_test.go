@@ -1,0 +1,83 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+)
+
+func TestCaptureCodecRoundTrip(t *testing.T) {
+	cases := map[string]*CaptureRecord{
+		"minimal": {Seq: 1},
+		"nil accounts": {
+			Seq:   7,
+			Tweet: socialnet.Tweet{ID: 42, Text: "hi", Spam: true},
+		},
+		"full": {
+			Seq: 1 << 40,
+			Tweet: socialnet.Tweet{
+				ID:         -3, // negative ids must survive zig-zag
+				AuthorID:   9,
+				CreatedAt:  time.Date(2019, 6, 1, 12, 30, 0, 999, time.UTC),
+				Kind:       socialnet.KindRetweet,
+				Source:     socialnet.SourceThirdParty,
+				Text:       "免费 free £€ \x00 bytes",
+				Hashtags:   []string{"a", "", "c"},
+				Mentions:   []socialnet.AccountID{1, -2, 3},
+				URLs:       []string{"http://x"},
+				Topic:      "t",
+				Spam:       true,
+				CampaignID: 12,
+			},
+			Sender: &socialnet.Account{
+				ID: 9, ScreenName: "s", Verified: true,
+				SuspendedAt:   time.Date(2020, 1, 2, 3, 4, 5, 6, time.UTC),
+				Suspended:     true,
+				TweetsPerHour: 3.25, MentionRate: -0.5,
+			},
+			Receiver: nil,
+			Groups:   []int{0, 5, 17},
+		},
+	}
+	for name, rec := range cases {
+		t.Run(name, func(t *testing.T) {
+			enc := EncodeCapture(nil, rec)
+			got, err := DecodeCapture(enc)
+			if err != nil {
+				t.Fatalf("DecodeCapture: %v", err)
+			}
+			if !reflect.DeepEqual(got, rec) {
+				t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, rec)
+			}
+		})
+	}
+}
+
+func TestDecodeCaptureRejectsTruncation(t *testing.T) {
+	rec := &CaptureRecord{Seq: 3, Tweet: socialnet.Tweet{
+		ID: 1, Text: "spam", Hashtags: []string{"x"},
+	}, Groups: []int{1}}
+	enc := EncodeCapture(nil, rec)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeCapture(enc[:cut]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(enc))
+		}
+	}
+	if _, err := DecodeCapture(append(enc, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestZeroTimeRoundTrip(t *testing.T) {
+	rec := &CaptureRecord{Sender: &socialnet.Account{ID: 1}}
+	got, err := DecodeCapture(EncodeCapture(nil, rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Tweet.CreatedAt.IsZero() || !got.Sender.CreatedAt.IsZero() {
+		t.Fatalf("zero times did not survive: %v / %v",
+			got.Tweet.CreatedAt, got.Sender.CreatedAt)
+	}
+}

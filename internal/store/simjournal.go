@@ -1,0 +1,27 @@
+package store
+
+import "encoding/binary"
+
+// Sim-hours journal records let twitterd fast-forward its deterministic
+// engine across restarts: each record is the number of simulated hours
+// advanced, and recovery sums them. The payload shares the store's
+// record sequence space (uvarint seq, then uvarint hours) so segment
+// naming and checkpoint coverage work identically for both record types.
+
+func encodeSimHours(buf []byte, seq uint64, hours int) []byte {
+	buf = binary.AppendUvarint(buf, seq)
+	return binary.AppendUvarint(buf, uint64(hours))
+}
+
+func decodeSimHours(payload []byte) (seq uint64, hours int, err error) {
+	d := &decoder{b: payload}
+	seq = d.uvarint()
+	h := d.uvarint()
+	if d.err != nil {
+		return 0, 0, d.err
+	}
+	if len(d.b) != 0 {
+		return 0, 0, errShortRecord
+	}
+	return seq, int(h), nil
+}

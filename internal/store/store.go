@@ -1,0 +1,432 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the local directory to store state in; ignored when Backend
+	// is set.
+	Dir string
+	// Backend overrides the local-disk backend (fault-injection doubles,
+	// blob stores).
+	Backend Backend
+	// SyncEvery groups WAL commits: the log fsyncs after every SyncEvery
+	// appends (and on explicit Sync). <= 0 means 1, i.e. every append is
+	// durable before AppendCapture returns.
+	SyncEvery int
+	// Meta is the owner's configuration fingerprint (seed, spec hash).
+	// It is stamped into every WAL segment; reopening a store whose
+	// recorded fingerprint differs fails with ErrMetaMismatch rather
+	// than replaying another configuration's history.
+	Meta string
+	// Metrics receives the store's counters; nil uses metrics.Default().
+	Metrics *metrics.Registry
+	// Tracer receives checkpoint/recovery spans; nil disables them (a
+	// nil tracer is a valid no-op receiver).
+	Tracer *trace.Tracer
+}
+
+// Recovery is what Open reconstructed from disk.
+type Recovery struct {
+	// Checkpoint is the newest decodable checkpoint, nil when none.
+	Checkpoint *Checkpoint
+	// Records are the WAL capture records past the checkpoint, in append
+	// order.
+	Records []*CaptureRecord
+	// SimHours is the summed sim-time advance past the checkpoint
+	// (twitterd's journal records).
+	SimHours int
+	// Torn counts segments that ended in a torn write.
+	Torn int
+	// Fallbacks counts checkpoints that failed verification and were
+	// skipped in favour of an older one.
+	Fallbacks int
+	// Meta is the configuration fingerprint recorded in the WAL ("" for
+	// a fresh store).
+	Meta string
+}
+
+// ErrMetaMismatch is returned by Open when the on-disk configuration
+// fingerprint differs from Options.Meta.
+var ErrMetaMismatch = errors.New("store: configuration fingerprint mismatch")
+
+// Store is a durable WAL + checkpoint store over a Backend. All methods
+// are safe for concurrent use; append order under concurrency is the
+// order the internal lock is acquired.
+type Store struct {
+	b       Backend
+	release func() error
+	obs     *observer
+
+	mu        sync.Mutex
+	seq       uint64 // last assigned record sequence
+	w         *segmentWriter
+	pending   int // appends since last successful sync
+	syncEvery int
+	meta      string
+	buf       []byte // payload scratch, reused across appends
+	frame     []byte // framing scratch (header + payload copy), likewise
+	closed    bool
+}
+
+// Open locks the store, recovers prior state (newest valid checkpoint
+// plus the WAL records past it), and readies the log for appends. The
+// caller owns applying Recovery to its in-memory state before appending.
+func Open(opts Options) (*Store, *Recovery, error) {
+	b := opts.Backend
+	if b == nil {
+		d, err := NewDir(opts.Dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		b = d
+	}
+	release, err := b.Lock()
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Store{
+		b:         b,
+		release:   release,
+		obs:       newObserver(opts.Metrics, opts.Tracer),
+		syncEvery: opts.SyncEvery,
+		meta:      opts.Meta,
+	}
+	if s.syncEvery <= 0 {
+		s.syncEvery = 1
+	}
+	rec, err := s.recover()
+	if err != nil {
+		_ = release()
+		return nil, nil, err
+	}
+	if opts.Meta != "" && rec.Meta != "" && rec.Meta != opts.Meta {
+		_ = release()
+		return nil, nil, fmt.Errorf("%w: disk %q, config %q",
+			ErrMetaMismatch, rec.Meta, opts.Meta)
+	}
+	return s, rec, nil
+}
+
+// recover loads the newest valid checkpoint and replays the WAL past it.
+func (s *Store) recover() (*Recovery, error) {
+	start := time.Now()
+	tr := s.obs.tracer.Start("store_recover")
+	sp := tr.StartSpan("store_recover")
+	defer func() {
+		sp.End()
+		tr.Finish()
+	}()
+
+	names, err := s.b.List()
+	if err != nil {
+		return nil, fmt.Errorf("store: list: %w", err)
+	}
+	// Stray temp files are half-written checkpoints from a crash mid-
+	// publish; the rename never happened, so they are garbage.
+	for _, n := range names {
+		if len(n) > len(tmpSuffix) && n[len(n)-len(tmpSuffix):] == tmpSuffix {
+			_ = s.b.Remove(n)
+		}
+	}
+
+	rec := &Recovery{}
+	ckptSeqs := listSeqs(names, checkpointPrefix, checkpointSuffix)
+	for i := len(ckptSeqs) - 1; i >= 0 && rec.Checkpoint == nil; i-- {
+		ck, err := readCheckpointFile(s.b, ckptSeqs[i])
+		if err != nil {
+			// Fall back to the previous checkpoint; the WAL segments it
+			// covers are still on disk (pruning trails by one).
+			rec.Fallbacks++
+			s.obs.checkpointFallbacks.Inc()
+			continue
+		}
+		rec.Checkpoint = ck
+	}
+	segSeqs := listSeqs(names, segmentPrefix, segmentSuffix)
+	if rec.Checkpoint == nil && len(ckptSeqs) > 0 &&
+		(len(segSeqs) == 0 || segSeqs[0] > 1) {
+		// Every checkpoint failed verification and the early WAL was
+		// already pruned: full replay is impossible, and pretending the
+		// pruned prefix never happened would silently diverge.
+		return nil, fmt.Errorf("store: all %d checkpoints unreadable and WAL history pruned", len(ckptSeqs))
+	}
+	var base uint64
+	if rec.Checkpoint != nil {
+		base = rec.Checkpoint.Seq
+	}
+	s.seq = base
+
+	for i, first := range segSeqs {
+		if i+1 < len(segSeqs) && segSeqs[i+1] <= base+1 {
+			// Every record in this segment has seq < the next segment's
+			// first, hence <= base: fully covered by the checkpoint.
+			continue
+		}
+		if err := s.replaySegment(first, base, rec); err != nil {
+			return nil, err
+		}
+	}
+	s.obs.recoverySeconds.ObserveDuration(start)
+	sp.SetAttr("records", fmt.Sprint(len(rec.Records)))
+	sp.SetAttr("torn", fmt.Sprint(rec.Torn))
+	return rec, nil
+}
+
+// replaySegment streams one segment into rec, keeping records past base.
+func (s *Store) replaySegment(first, base uint64, rec *Recovery) error {
+	f, err := s.b.Open(segmentName(first))
+	if err != nil {
+		return fmt.Errorf("store: open segment %d: %w", first, err)
+	}
+	defer func() { _ = f.Close() }()
+	err = readSegment(f, func(typ byte, payload []byte) error {
+		switch typ {
+		case RecordCapture:
+			cr, err := DecodeCapture(payload)
+			if err != nil {
+				// The frame passed its checksum, so this is a format
+				// bug or adversarial corruption, not a torn write.
+				return fmt.Errorf("store: segment %d: %w", first, err)
+			}
+			if cr.Seq > s.seq {
+				s.seq = cr.Seq
+			}
+			if cr.Seq > base {
+				rec.Records = append(rec.Records, cr)
+				s.obs.recoveryRecords.Inc()
+			}
+		case RecordSimHours:
+			seq, hours, err := decodeSimHours(payload)
+			if err != nil {
+				return fmt.Errorf("store: segment %d: %w", first, err)
+			}
+			if seq > s.seq {
+				s.seq = seq
+			}
+			if seq > base {
+				rec.SimHours += hours
+			}
+		case RecordMeta:
+			if rec.Meta == "" {
+				rec.Meta = string(payload)
+			}
+		default:
+			return fmt.Errorf("store: segment %d: unknown record type %d", first, typ)
+		}
+		return nil
+	})
+	if errors.Is(err, ErrTornTail) {
+		rec.Torn++
+		s.obs.tornTails.Inc()
+		return nil
+	}
+	return err
+}
+
+// Seq returns the last assigned record sequence.
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// AppendCapture logs one capture, assigning rec.Seq. The record is
+// durable once this (under SyncEvery=1) or a later Sync returns nil.
+func (s *Store) AppendCapture(rec *CaptureRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec.Seq = s.seq + 1
+	s.buf = s.buf[:0]
+	s.buf = EncodeCapture(s.buf, rec)
+	return s.appendLocked(RecordCapture, s.buf)
+}
+
+// AppendSimHours journals a sim-time advance of the given hour count.
+func (s *Store) AppendSimHours(hours int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = encodeSimHours(s.buf[:0], s.seq+1, hours)
+	return s.appendLocked(RecordSimHours, s.buf)
+}
+
+// appendLocked frames and writes one record carrying sequence s.seq+1.
+// On success the sequence advances; on failure it does not, and the next
+// append rotates to a fresh segment (so a torn frame only ever sits at a
+// segment tail).
+func (s *Store) appendLocked(typ byte, payload []byte) error {
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	if s.w == nil || s.w.broken {
+		if s.w != nil {
+			_ = s.w.close()
+			s.w = nil
+		}
+		w, err := s.openSegmentLocked()
+		if err != nil {
+			s.obs.appendErrors.Inc()
+			return err
+		}
+		s.w = w
+	}
+	s.frame = appendFrame(s.frame[:0], typ, payload)
+	if err := s.w.append(s.frame); err != nil {
+		s.obs.appendErrors.Inc()
+		return err
+	}
+	s.seq++
+	s.pending++
+	s.obs.appends.Inc()
+	s.obs.walBytes.Add(float64(len(s.frame)))
+	if s.pending >= s.syncEvery {
+		return s.syncLocked()
+	}
+	return nil
+}
+
+// openSegmentLocked creates the next segment, named after the sequence
+// the first record it receives will carry, and stamps the meta record.
+// A name collision can only hit a segment that held no sequenced records
+// (otherwise s.seq would be past its first sequence), so the truncate
+// loses nothing.
+func (s *Store) openSegmentLocked() (*segmentWriter, error) {
+	w, err := newSegmentWriter(s.b, segmentName(s.seq+1))
+	if err != nil {
+		return nil, err
+	}
+	if s.meta != "" {
+		frame := appendFrame(nil, RecordMeta, []byte(s.meta))
+		if err := w.append(frame); err != nil {
+			_ = w.close()
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// Sync makes every appended record durable.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	if s.w == nil || s.pending == 0 {
+		return nil
+	}
+	if err := s.w.sync(); err != nil {
+		s.obs.syncErrors.Inc()
+		return err
+	}
+	s.pending = 0
+	s.obs.syncs.Inc()
+	return nil
+}
+
+// WriteCheckpoint publishes a consistent cut at the current sequence:
+// the WAL is synced first (the checkpoint must never cover records that
+// could still be lost), the checkpoint file is written atomically, the
+// log rotates, and history covered by the previous retained checkpoint
+// is pruned (two checkpoints are kept, so recovery can fall back past a
+// corrupt newest one). The caller must be quiescent: no concurrent
+// appends between filling ck.Components and WriteCheckpoint returning.
+func (s *Store) WriteCheckpoint(ck *Checkpoint) error {
+	start := time.Now()
+	tr := s.obs.tracer.Start("store_checkpoint")
+	sp := tr.StartSpan("store_checkpoint")
+	defer func() {
+		sp.End()
+		tr.Finish()
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	if err := s.syncLocked(); err != nil {
+		s.obs.checkpointErrors.Inc()
+		return fmt.Errorf("store: checkpoint sync: %w", err)
+	}
+	ck.Seq = s.seq
+	if err := writeCheckpointFile(s.b, ck); err != nil {
+		s.obs.checkpointErrors.Inc()
+		return err
+	}
+	// Rotate so the just-covered segment is complete and prunable at the
+	// next checkpoint.
+	if s.w != nil {
+		_ = s.w.close()
+		s.w = nil
+	}
+	s.pruneLocked(ck.Seq)
+	s.obs.checkpoints.Inc()
+	s.obs.checkpointSeconds.ObserveDuration(start)
+	sp.SetAttr("seq", fmt.Sprint(ck.Seq))
+	return nil
+}
+
+// pruneLocked retires history made redundant by the checkpoint just
+// written at newSeq: checkpoints beyond the newest two, and WAL segments
+// fully covered by the older retained checkpoint. Prune failures are
+// deliberately non-fatal — they cost disk, not correctness.
+func (s *Store) pruneLocked(newSeq uint64) {
+	names, err := s.b.List()
+	if err != nil {
+		return
+	}
+	ckptSeqs := listSeqs(names, checkpointPrefix, checkpointSuffix)
+	keepFrom := 0
+	if len(ckptSeqs) > 2 {
+		keepFrom = len(ckptSeqs) - 2
+	}
+	for _, seq := range ckptSeqs[:keepFrom] {
+		_ = s.b.Remove(checkpointName(seq))
+	}
+	// The recovery floor is the oldest checkpoint still on disk: every
+	// record past it must stay replayable.
+	floor := newSeq
+	if len(ckptSeqs) > keepFrom {
+		floor = ckptSeqs[keepFrom]
+	}
+	segSeqs := listSeqs(names, segmentPrefix, segmentSuffix)
+	for i, first := range segSeqs {
+		if i+1 < len(segSeqs) && segSeqs[i+1] <= floor+1 {
+			_ = s.b.Remove(segmentName(first))
+		}
+	}
+}
+
+// Close syncs outstanding records, closes the active segment, and
+// releases the directory lock.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.syncLocked()
+	if s.w != nil {
+		if cerr := s.w.close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		s.w = nil
+	}
+	if rerr := s.release(); err == nil {
+		err = rerr
+	}
+	return err
+}

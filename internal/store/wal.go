@@ -1,0 +1,256 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WAL file format. Every segment starts with an 8-byte magic; each record
+// is framed as
+//
+//	uint32  payload length (little-endian)
+//	uint32  CRC-32C over [type byte ‖ payload]
+//	uint8   record type
+//	payload
+//
+// A record is valid only when the frame is complete and the checksum
+// matches; a truncated or checksum-failing frame at a segment's tail is a
+// torn write — the clean end of that segment's durable prefix. Appends
+// after any write or sync error rotate to a fresh segment, so a torn
+// frame can only ever sit at a segment tail, never in front of later
+// records of the same file.
+const (
+	walMagic = "PHWAL001"
+	// frameOverhead is the per-record framing cost in bytes.
+	frameOverhead = 4 + 4 + 1
+	// MaxRecordSize bounds a single record's payload; decode rejects
+	// larger length prefixes outright instead of allocating them (a
+	// corrupt length field would otherwise ask for gigabytes).
+	MaxRecordSize = 16 << 20
+)
+
+// Record types multiplexed over one WAL.
+const (
+	// RecordCapture is one monitored capture (CaptureRecord codec).
+	RecordCapture byte = 1
+	// RecordSimHours is a simulated-time advance (uvarint hour count) —
+	// twitterd's journal.
+	RecordSimHours byte = 2
+	// RecordMeta is the store's configuration fingerprint, written once
+	// as the first record of the first segment.
+	RecordMeta byte = 3
+)
+
+// ErrTornTail reports that a segment ended in a torn (incomplete or
+// checksum-failing) frame. Records before the tear decoded cleanly.
+var ErrTornTail = errors.New("store: torn record at segment tail")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends one framed record to buf and returns the result.
+func appendFrame(buf []byte, typ byte, payload []byte) []byte {
+	var hdr [frameOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	crc := crc32.Update(0, castagnoli, []byte{typ})
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	hdr[8] = typ
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// segmentWriter appends framed records to one backend file through a
+// buffered writer. It is not safe for concurrent use.
+type segmentWriter struct {
+	name string
+	f    WriteFile
+	bw   *bufio.Writer
+	// broken latches after any write or sync error: the segment's tail
+	// state is unknown, so the writer refuses further appends and the
+	// log rotates to a fresh segment.
+	broken bool
+	// bytes counts everything handed to the buffered writer, header
+	// included.
+	bytes int64
+}
+
+func newSegmentWriter(b Backend, name string) (*segmentWriter, error) {
+	f, err := b.Create(name)
+	if err != nil {
+		return nil, fmt.Errorf("store: create segment %s: %w", name, err)
+	}
+	// The buffer bounds write() syscalls, not durability — that's sync's
+	// job — so it is sized generously: under group commit the kernel sees
+	// one large write per flush instead of hundreds of frame-sized ones.
+	w := &segmentWriter{name: name, f: f, bw: bufio.NewWriterSize(f, 1<<20)}
+	if _, err := w.bw.WriteString(walMagic); err != nil {
+		w.broken = true
+		_ = f.Close()
+		return nil, fmt.Errorf("store: write segment header: %w", err)
+	}
+	w.bytes = int64(len(walMagic))
+	return w, nil
+}
+
+// append writes one framed record into the buffer (durable after sync).
+func (w *segmentWriter) append(frame []byte) error {
+	if w.broken {
+		return errors.New("store: segment writer broken by earlier error")
+	}
+	if _, err := w.bw.Write(frame); err != nil {
+		w.broken = true
+		return fmt.Errorf("store: append to %s: %w", w.name, err)
+	}
+	w.bytes += int64(len(frame))
+	return nil
+}
+
+// sync flushes the buffer and fsyncs the file.
+func (w *segmentWriter) sync() error {
+	if w.broken {
+		return errors.New("store: segment writer broken by earlier error")
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.broken = true
+		return fmt.Errorf("store: flush %s: %w", w.name, err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.broken = true
+		return fmt.Errorf("store: sync %s: %w", w.name, err)
+	}
+	return nil
+}
+
+// close flushes (best effort when already broken) and closes the file.
+func (w *segmentWriter) close() error {
+	var flushErr error
+	if !w.broken {
+		flushErr = w.bw.Flush()
+	}
+	closeErr := w.f.Close()
+	if flushErr != nil {
+		return fmt.Errorf("store: flush %s: %w", w.name, flushErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("store: close %s: %w", w.name, closeErr)
+	}
+	return nil
+}
+
+// readSegment streams every record of one segment to fn in order. It
+// returns ErrTornTail when the segment ends mid-frame or with a checksum
+// mismatch (records before the tear were delivered), and a hard error for
+// anything else — an unreadable header, a record claiming more than
+// MaxRecordSize, or fn failing. The reader tolerates arbitrarily short
+// reads from the backend.
+func readSegment(r io.Reader, fn func(typ byte, payload []byte) error) error {
+	br := bufio.NewReaderSize(r, 64<<10)
+	var magic [len(walMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			// A crash can leave a segment that was created but whose
+			// buffered header never reached the backend (or only a prefix
+			// did): an empty/short file is a torn artifact, not corruption.
+			return ErrTornTail
+		}
+		return fmt.Errorf("store: read segment header: %w", err)
+	}
+	if string(magic[:]) != walMagic {
+		return fmt.Errorf("store: bad segment magic %q", magic[:])
+	}
+	var hdr [frameOverhead]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil // clean end between frames
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return ErrTornTail // frame header cut mid-write
+			}
+			return fmt.Errorf("store: read frame header: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+		typ := hdr[8]
+		if length > MaxRecordSize {
+			// A length this absurd is frame corruption, not a large
+			// record; treat like a tear so recovery stops cleanly.
+			return ErrTornTail
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				return ErrTornTail // payload cut mid-write
+			}
+			return fmt.Errorf("store: read record payload: %w", err)
+		}
+		crc := crc32.Update(0, castagnoli, []byte{typ})
+		crc = crc32.Update(crc, castagnoli, payload)
+		if crc != wantCRC {
+			return ErrTornTail
+		}
+		if err := fn(typ, payload); err != nil {
+			return err
+		}
+	}
+}
+
+// Segment and checkpoint file naming. Segments carry the sequence number
+// of the first record they may contain; checkpoints carry the sequence
+// they were cut at. Fixed-width decimal keeps lexicographic order equal
+// to numeric order.
+const (
+	segmentPrefix    = "wal-"
+	segmentSuffix    = ".log"
+	checkpointPrefix = "ckpt-"
+	checkpointSuffix = ".ckpt"
+	tmpSuffix        = ".tmp"
+)
+
+func segmentName(firstSeq uint64) string {
+	return fmt.Sprintf("%s%016d%s", segmentPrefix, firstSeq, segmentSuffix)
+}
+
+func checkpointName(seq uint64) string {
+	return fmt.Sprintf("%s%016d%s", checkpointPrefix, seq, checkpointSuffix)
+}
+
+// parseSeqName extracts the sequence number from a segment or checkpoint
+// file name, reporting ok=false for foreign files.
+func parseSeqName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	if len(mid) != 16 {
+		return 0, false
+	}
+	var seq uint64
+	for i := 0; i < len(mid); i++ {
+		c := mid[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		seq = seq*10 + uint64(c-'0')
+	}
+	return seq, true
+}
+
+// listSeqs returns the sequence numbers parsed from names matching
+// prefix/suffix, ascending.
+func listSeqs(names []string, prefix, suffix string) []uint64 {
+	var seqs []uint64
+	for _, n := range names {
+		if seq, ok := parseSeqName(n, prefix, suffix); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs
+}

@@ -1,0 +1,64 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseSeqName(t *testing.T) {
+	cases := []struct {
+		name string
+		want uint64
+		ok   bool
+	}{
+		{segmentName(1), 1, true},
+		{segmentName(123456789), 123456789, true},
+		{checkpointName(7), 0, false}, // wrong prefix/suffix pair
+		{"wal-1.log", 0, false},       // not fixed-width
+		{"wal-00000000000000x1.log", 0, false},
+		{"LOCK", 0, false},
+		{"wal-0000000000000001.log.tmp", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseSeqName(c.name, segmentPrefix, segmentSuffix)
+		if ok != c.ok || got != c.want {
+			t.Errorf("parseSeqName(%q) = (%d,%v), want (%d,%v)",
+				c.name, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestReadSegmentRejectsForeignHeader(t *testing.T) {
+	if err := readSegment(strings.NewReader("NOTAWAL!extra"), nil); err == nil {
+		t.Fatal("foreign magic accepted")
+	}
+	// A created-but-never-flushed segment (crash before the first sync)
+	// is an empty or header-truncated file: a torn artifact, not a hard
+	// recovery failure.
+	if err := readSegment(strings.NewReader(""), nil); err != ErrTornTail {
+		t.Fatalf("empty segment: %v, want ErrTornTail", err)
+	}
+	if err := readSegment(strings.NewReader(walMagic[:3]), nil); err != ErrTornTail {
+		t.Fatalf("truncated magic: %v, want ErrTornTail", err)
+	}
+	// An absurd length prefix is frame corruption, handled as a tear.
+	seg := []byte(walMagic)
+	seg = append(seg, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1)
+	if err := readSegment(bytes.NewReader(seg), nil); err != ErrTornTail {
+		t.Fatalf("absurd length: %v, want ErrTornTail", err)
+	}
+}
+
+func TestDecodeSimHoursRejectsCorruption(t *testing.T) {
+	enc := encodeSimHours(nil, 5, 3)
+	if seq, hours, err := decodeSimHours(enc); err != nil || seq != 5 || hours != 3 {
+		t.Fatalf("round trip = (%d,%d,%v)", seq, hours, err)
+	}
+	if _, _, err := decodeSimHours(enc[:1]); err == nil {
+		t.Error("truncated sim-hours record accepted")
+	}
+	if _, _, err := decodeSimHours(append(enc, 9)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}

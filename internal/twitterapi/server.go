@@ -53,6 +53,14 @@ func WithPprof() ServerOption {
 	return func(s *Server) { s.pprof = true }
 }
 
+// WithAdvanceHook calls fn with the hour count after every successful
+// time advance (tick or POST /sim/advance.json), while the simulation is
+// still paused. twitterd journals simulated time through it so a restarted
+// daemon can fast-forward to where the world left off.
+func WithAdvanceHook(fn func(hours int)) ServerOption {
+	return func(s *Server) { s.advanceHook = fn }
+}
+
 // Server exposes a socialnet Engine over the emulated Twitter API. All
 // engine access is serialized through an internal mutex, so handlers may
 // run concurrently.
@@ -66,12 +74,13 @@ type Server struct {
 	streams   map[int]*stream
 	nextID    int
 
-	limiter *rateLimiter
-	mux     *http.ServeMux
-	reg     *metrics.Registry
-	ins     *serverInstruments
-	tracer  *trace.Tracer
-	pprof   bool
+	limiter     *rateLimiter
+	mux         *http.ServeMux
+	reg         *metrics.Registry
+	ins         *serverInstruments
+	tracer      *trace.Tracer
+	pprof       bool
+	advanceHook func(hours int)
 }
 
 // stream is one connected streaming client.
@@ -142,6 +151,9 @@ func (s *Server) Advance(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.engine.RunHours(n)
+	if s.advanceHook != nil {
+		s.advanceHook(n)
+	}
 }
 
 // dispatch fans a generated tweet out to connected streams. It runs inside
