@@ -15,13 +15,14 @@ RACE_PKGS := ./internal/parallel/ \
 	./internal/trace/ \
 	./internal/twitterapi/ \
 	./internal/store/ \
+	./internal/shard/ \
 	.
 
 METRICS_COVER_MIN := 90
 TRACE_COVER_MIN := 90
 STORE_COVER_MIN := 90
 
-.PHONY: check vet vulncheck build test race bench bench-e2e bench-e2e-check bench-store bench-store-check cover-metrics cover-trace cover-store
+.PHONY: check vet vulncheck build test race bench bench-e2e bench-e2e-check bench-store bench-store-check bench-shard bench-shard-check cover-metrics cover-trace cover-store
 
 check: vet vulncheck build test race cover-metrics cover-trace cover-store
 
@@ -82,6 +83,7 @@ bench:
 	$(GO) run ./cmd/benchreport -mlbench BENCH_ml.json
 	$(GO) run ./cmd/benchreport -e2ebench BENCH_e2e.json
 	$(GO) run ./cmd/benchreport -storebench BENCH_store.json
+	$(GO) run ./cmd/benchreport -shardbench BENCH_shard.json
 
 # bench-e2e regenerates only the committed end-to-end hot-path baseline
 # (NDJSON ingest -> features -> classification, tweets/sec and
@@ -120,3 +122,17 @@ bench-store:
 # Set PH_SKIP_STORE_CHECK=1 to skip on shared or throttled machines.
 bench-store-check:
 	$(GO) run ./cmd/benchreport -storecheck BENCH_store.json
+
+# bench-shard regenerates the committed shard-scaling baseline: capture
+# throughput of the in-process sharded fanout at 1/2/4/8 shards over a
+# fixed pre-generated capture workload.
+bench-shard:
+	$(GO) run ./cmd/benchreport -shardbench BENCH_shard.json
+
+# bench-shard-check measures the scaling curve fresh and fails when the
+# 4-shard speedup misses the core-count-tiered floor (2.5x on >= 8 cores,
+# degrading to a 0.5x sanity floor on a single core — a small machine
+# cannot reproduce a big runner's parallelism).
+# Set PH_SKIP_SHARD_CHECK=1 to skip on shared or throttled machines.
+bench-shard-check:
+	$(GO) run ./cmd/benchreport -shardcheck BENCH_shard.json

@@ -15,6 +15,7 @@ import (
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/ml"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/pipeline"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/shard"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/store"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
@@ -200,6 +201,19 @@ type SnifferConfig struct {
 	CaptureCap int
 	// Stream selects and tunes the staged streaming runtime.
 	Stream StreamConfig
+	// Shards partitions the honeypot node set across N shard workers by
+	// consistent hashing on node id, each running its own stream filter
+	// and staged pipeline, with a coordinator merging the capture streams
+	// back into the deterministic single-monitor order (DESIGN.md §15).
+	// Values above 1 require Stream.Enabled. Zero or 1 keeps the
+	// unsharded topology (unless ShardMode forces proc workers).
+	Shards int
+	// ShardMode selects how shards are isolated: "inproc" (the default)
+	// runs goroutine-isolated shards in this process; "proc" runs one
+	// worker subprocess per shard speaking the HTTP/NDJSON epoch wire.
+	// Proc mode requires driving the run through Sniffer.RunHours and is
+	// incompatible with Durability.
+	ShardMode string
 	// Durability enables the WAL + checkpoint store so a crashed run can
 	// be resumed without losing captures (requires Stream.Enabled).
 	Durability DurabilityConfig
@@ -228,6 +242,10 @@ type Sniffer struct {
 	runner     *pipeline.Runner
 	ingest     *pipeline.Queue[*core.Capture]
 	labelStore *label.Store
+
+	// Sharded modes only (SnifferConfig.Shards > 1 or ShardMode "proc").
+	fanout *shard.Fanout
+	proc   *shard.ProcCoordinator
 
 	// Durability (WAL + checkpoints), nil/zero when disabled. watermark
 	// is the highest durably-accounted tweet id at startup: the re-run
@@ -276,6 +294,18 @@ func NewSniffer(sim *Simulation, cfg SnifferConfig) (*Sniffer, error) {
 		Rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
 	})
 	s := &Sniffer{sim: sim, monitor: m, cfg: cfg}
+	switch cfg.ShardMode {
+	case "", "inproc", "proc":
+	default:
+		return nil, fmt.Errorf("pseudohoneypot: unknown shard mode %q", cfg.ShardMode)
+	}
+	sharded := cfg.Shards > 1 || cfg.ShardMode == "proc"
+	if sharded && !cfg.Stream.Enabled {
+		return nil, errors.New("pseudohoneypot: sharding requires the streaming pipeline (set Stream.Enabled)")
+	}
+	if cfg.ShardMode == "proc" && cfg.Durability.enabled() {
+		return nil, errors.New("pseudohoneypot: proc shard mode does not support durability")
+	}
 	if cfg.Durability.enabled() {
 		if !cfg.Stream.Enabled {
 			return nil, errors.New("pseudohoneypot: durability requires the streaming pipeline (set Stream.Enabled)")
@@ -284,9 +314,16 @@ func NewSniffer(sim *Simulation, cfg SnifferConfig) (*Sniffer, error) {
 			return nil, err
 		}
 	}
-	if cfg.Stream.Enabled {
+	switch {
+	case cfg.ShardMode == "proc":
+		if err := s.attachProc(); err != nil {
+			return nil, err
+		}
+	case sharded:
+		s.attachSharded()
+	case cfg.Stream.Enabled:
 		s.attachStreaming()
-	} else {
+	default:
 		s.detach = core.Attach(m, sim.engine)
 	}
 	if s.store != nil {
@@ -407,6 +444,170 @@ func (s *Sniffer) attachStreaming() {
 	s.runner, s.ingest, s.labelStore, s.detach = runner, qFeature, ls, cancel
 }
 
+// attachSharded wires the in-process sharded topology (DESIGN.md §15):
+// the match step stays on the engine goroutine and routes each capture to
+// its owning shard by consistent hashing on the receiver node; shards run
+// stateless extraction and label precompute concurrently; the coordinator
+// merges by ingest sequence number and runs the order-dependent stages,
+// so every downstream structure evolves exactly as in the 1-shard run.
+//
+//	engine ─→ match ─ring─→ shard 1..N [extract] ─→ [merge]─[label]─[detect]
+func (s *Sniffer) attachSharded() {
+	m, cfg := s.monitor, s.cfg
+	ls := label.NewStore(s.labelConfig())
+	online := cfg.Online
+	f := shard.NewFanout(shard.FanoutConfig{
+		Shards: cfg.Shards,
+		Pipeline: pipeline.Config{
+			FlushSize:     cfg.Stream.BatchSize,
+			FlushInterval: cfg.Stream.FlushInterval,
+			QueueCap:      cfg.Stream.QueueDepth,
+			Metrics:       cfg.Metrics,
+			Tracer:        cfg.Tracer,
+		},
+		Monitor: m,
+		Prepper: label.NewPrepper(s.labelConfig()),
+		Complete: func(it *shard.Item) {
+			m.CompleteCapture(it.C, it.Vec)
+			m.Store().Append(it.C)
+			if s.store != nil {
+				// The merge stage restores ingest order, so the WAL sees
+				// captures in exactly the order recovery must replay.
+				s.walAppend(it.C)
+			}
+		},
+		Label: func(items []shard.Item) []bool {
+			tweets := make([]*socialnet.Tweet, len(items))
+			authors := make([]*socialnet.Account, len(items))
+			profiles := make([]*socialnet.Account, len(items))
+			tweetPreps := make([]label.TweetPrep, len(items))
+			userPreps := make([]*label.UserPrep, len(items))
+			for i, it := range items {
+				tweets[i] = it.C.Tweet
+				authors[i] = it.C.Sender
+				profiles[i] = it.C.SenderSnapshot()
+				tweetPreps[i] = it.TweetPrep
+				userPreps[i] = it.UserPrep
+			}
+			return ls.AddBatchPrepared(tweets, authors, profiles, tweetPreps, userPreps)
+		},
+		Observe: func(c *core.Capture, spam bool) {
+			if online != nil {
+				_ = online.Observe(c, spam)
+			}
+		},
+	})
+
+	world := s.sim.world
+	s.sim.engine.OnHourStart(func(hour int, now time.Time) {
+		m.Rotate(now, time.Hour)
+		if s.store != nil && hour > 0 && hour%s.ckptEvery == 0 {
+			_ = s.checkpointDurable()
+		}
+	})
+	cancel := s.sim.engine.Subscribe(func(t *socialnet.Tweet) {
+		if t.ID <= s.watermark {
+			return
+		}
+		if c := m.Match(t, world.Account); c != nil {
+			s.lastCaptured = t.ID
+			f.Ingest(c)
+		}
+	})
+	s.fanout, s.labelStore, s.detach = f, ls, cancel
+}
+
+// attachProc wires the separate-process sharded topology: the coordinator
+// taps the stream on the engine goroutine, buffering candidates encoded at
+// emit time, and Sniffer.RunHours flushes one epoch per simulated hour to
+// the worker fleet (spawned by re-executing this binary — see
+// shard.MaybeWorker).
+func (s *Sniffer) attachProc() error {
+	m, cfg := s.monitor, s.cfg
+	ls := label.NewStore(s.labelConfig())
+	online := cfg.Online
+	world := s.sim.world
+	pc, err := shard.NewProcCoordinator(shard.ProcConfig{
+		Shards: cfg.Shards,
+		Lookup: world.Account,
+		Apply: func(batch []shard.Merged) error {
+			tweets := make([]*socialnet.Tweet, len(batch))
+			authors := make([]*socialnet.Account, len(batch))
+			profiles := make([]*socialnet.Account, len(batch))
+			tweetPreps := make([]label.TweetPrep, len(batch))
+			userPreps := make([]*label.UserPrep, len(batch))
+			caps := make([]*core.Capture, len(batch))
+			for i, mg := range batch {
+				c, err := m.AdoptCapture(mg.Tweet, mg.Sender, mg.Receiver, mg.Groups, world.Account)
+				if err != nil {
+					return err
+				}
+				m.CompleteCapture(c, mg.Vec)
+				m.Store().Append(c)
+				caps[i] = c
+				tweets[i] = c.Tweet
+				authors[i] = c.Sender
+				profiles[i] = c.SenderSnapshot()
+				tweetPreps[i] = mg.TweetPrep
+				userPreps[i] = mg.UserPrep
+			}
+			// One epoch is one label batch; AddBatchPrepared's ingest is
+			// batching-invariant, so the result matches the streaming
+			// micro-batches bit for bit.
+			spam := ls.AddBatchPrepared(tweets, authors, profiles, tweetPreps, userPreps)
+			if online != nil {
+				for i, c := range caps {
+					_ = online.Observe(c, spam[i])
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	s.sim.engine.OnHourStart(func(hour int, now time.Time) {
+		// Rotation barrier: the previous epoch was flushed before this
+		// hook can run, and the new assignment reaches the tap before any
+		// of the hour's traffic.
+		m.Rotate(now, time.Hour)
+		pc.BeginEpoch(m.CurrentNodes())
+	})
+	cancel := s.sim.engine.Subscribe(pc.OnTweet)
+	s.proc, s.labelStore, s.detach = pc, ls, cancel
+	return nil
+}
+
+// RunHours advances the simulation n hours through the sniffer. For the
+// separate-process shard mode this is the only way to advance time (each
+// hour's captures are flushed to the worker fleet at the hour boundary);
+// every other mode is equivalent to Simulation.RunHours.
+func (s *Sniffer) RunHours(n int) error {
+	if s.proc == nil {
+		s.sim.RunHours(n)
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		s.sim.engine.RunHours(1)
+		if err := s.proc.FlushEpoch(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drainPipeline blocks until every capture ingested so far has cleared
+// whichever stage topology is attached.
+func (s *Sniffer) drainPipeline() {
+	if s.fanout != nil {
+		s.fanout.Drain()
+		return
+	}
+	if s.runner != nil {
+		s.runner.Drain()
+	}
+}
+
 // Close detaches the sniffer from the simulation's stream and, in
 // streaming mode, shuts the stage graph down.
 func (s *Sniffer) Close() {
@@ -415,6 +616,12 @@ func (s *Sniffer) Close() {
 		if s.runner != nil {
 			s.ingest.Close()
 			s.runner.Wait()
+		}
+		if s.fanout != nil {
+			s.fanout.Close()
+		}
+		if s.proc != nil {
+			_ = s.proc.Close()
 		}
 		if s.store != nil {
 			// The stage graph has stopped appending; sync the WAL tail
@@ -449,9 +656,7 @@ type DetectionResult struct {
 // stored, and indexed before reporting — then snapshots the incremental
 // label store instead of re-clustering from scratch.
 func (s *Sniffer) DetectAll() (*DetectionResult, error) {
-	if s.runner != nil {
-		s.runner.Drain()
-	}
+	s.drainPipeline()
 	captures := s.monitor.Captures()
 	if len(captures) == 0 {
 		return nil, errors.New("pseudohoneypot: nothing captured yet")

@@ -43,6 +43,8 @@ func run() error {
 		e2eCheck  = flag.String("e2echeck", "", "measure the end-to-end hot path fresh and fail if optimized tweets/sec regressed >10% vs this baseline JSON (PH_SKIP_E2E_CHECK=1 skips)")
 		stBench   = flag.String("storebench", "", "skip the experiment tables and regenerate the durable-store baseline JSON at this path (e.g. BENCH_store.json)")
 		stCheck   = flag.String("storecheck", "", "measure WAL append/recovery fresh and fail on regression or a blown overhead budget vs this baseline JSON (PH_SKIP_STORE_CHECK=1 skips)")
+		shBench   = flag.String("shardbench", "", "skip the experiment tables and regenerate the shard-scaling baseline JSON at this path (e.g. BENCH_shard.json)")
+		shCheck   = flag.String("shardcheck", "", "measure the shard-count scaling curve fresh and fail if the 4-shard speedup misses the core-count-tiered floor vs this baseline JSON (PH_SKIP_SHARD_CHECK=1 skips)")
 	)
 	flag.Parse()
 	if *mlBench != "" {
@@ -59,6 +61,12 @@ func run() error {
 	}
 	if *stCheck != "" {
 		return runStoreCheck(*stCheck)
+	}
+	if *shBench != "" {
+		return runShardBench(*shBench)
+	}
+	if *shCheck != "" {
+		return runShardCheck(*shCheck)
 	}
 	if *format != "text" && *format != "csv" && *format != "json" {
 		return fmt.Errorf("unknown format %q", *format)

@@ -9,6 +9,7 @@
 //	phsniffer [-hours 24] [-nodes-per-value 2] [-accounts 6000]
 //	          [-classifier RF] [-seed 1] [-top 10]
 //	          [-stream] [-batch-size 64] [-flush-interval 25ms]
+//	          [-shards N] [-shard-mode inproc|proc]
 //	          [-capture-cap 0]
 //	          [-store-dir DIR] [-sync-every 1] [-checkpoint-every 1]
 //	          [-metrics-addr :9331] [-export run.json]
@@ -64,6 +65,7 @@ import (
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/remote"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/report"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/shard"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/twitterapi"
 )
@@ -72,6 +74,10 @@ import (
 var logger = trace.NewLogger(os.Stderr, trace.LevelInfo)
 
 func main() {
+	// In -shard-mode proc the coordinator spawns shard workers by
+	// re-executing this binary; a process carrying the worker marker
+	// serves the epoch RPC instead of running a sniffer.
+	shard.MaybeWorker()
 	if err := run(); err != nil {
 		logger.Error("run failed", "err", err)
 		os.Exit(1)
@@ -90,6 +96,8 @@ func run() error {
 		stream      = flag.Bool("stream", false, "run on the staged streaming pipeline instead of batch mode")
 		batchSize   = flag.Int("batch-size", pseudohoneypot.DefaultStreamBatchSize, "streaming micro-batch flush size")
 		flushEvery  = flag.Duration("flush-interval", pseudohoneypot.DefaultStreamFlushInterval, "streaming partial-batch age bound")
+		shards      = flag.Int("shards", 0, "partition the honeypot nodes across N shard monitors (implies -stream; 0/1 = unsharded)")
+		shardMode   = flag.String("shard-mode", "", "shard isolation: inproc (goroutines, default) or proc (worker subprocesses over loopback HTTP)")
 		captureCap  = flag.Int("capture-cap", 0, "max captures retained (FIFO eviction past the cap; 0 = unbounded)")
 		storeDir    = flag.String("store-dir", "", "durable WAL+checkpoint directory; a restart against it resumes without double-counting (implies -stream)")
 		syncEvery   = flag.Int("sync-every", 1, "WAL appends per fsync (group commit; 1 = every capture durable immediately)")
@@ -137,6 +145,9 @@ func run() error {
 	if *storeDir != "" {
 		*stream = true // durability rides on the stage graph's ordering
 	}
+	if *shards > 1 || *shardMode == "proc" {
+		*stream = true // sharding partitions the stream filter
+	}
 	sniffer, err := pseudohoneypot.NewSniffer(sim, pseudohoneypot.SnifferConfig{
 		Specs:      pseudohoneypot.StandardSpecs(*perValue),
 		Classifier: pseudohoneypot.ClassifierName(*classifier),
@@ -147,6 +158,8 @@ func run() error {
 			BatchSize:     *batchSize,
 			FlushInterval: *flushEvery,
 		},
+		Shards:    *shards,
+		ShardMode: *shardMode,
 		Durability: pseudohoneypot.DurabilityConfig{
 			Dir:             *storeDir,
 			SyncEvery:       *syncEvery,
@@ -172,9 +185,12 @@ func run() error {
 	logger.Info("pseudo-honeypot network deployed",
 		"nodes", nodes, "accounts", *accounts, "hours", *hours,
 		"classifier", *classifier, "tracing", tracer.Enabled(),
-		"streaming", *stream, "capture_cap", *captureCap)
+		"streaming", *stream, "shards", *shards, "shard_mode", *shardMode,
+		"capture_cap", *captureCap)
 
-	sim.RunHours(*hours)
+	if err := sniffer.RunHours(*hours); err != nil {
+		return err
+	}
 	res, err := sniffer.DetectAll()
 	if err != nil {
 		return err

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/shard"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/store"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
@@ -47,6 +48,11 @@ import (
 var logger = trace.NewLogger(os.Stderr, trace.LevelInfo)
 
 func main() {
+	// Proc-mode shard coordinators spawn workers by re-executing the
+	// current binary, so every daemon in this repo installs the worker
+	// hook first thing in main — a process carrying the worker marker
+	// serves the shard epoch RPC instead of booting the daemon.
+	shard.MaybeWorker()
 	if err := run(); err != nil {
 		logger.Error("run failed", "err", err)
 		os.Exit(1)

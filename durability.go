@@ -216,7 +216,7 @@ func (s *Sniffer) walAppend(c *core.Capture) {
 // checkpoint is not fatal — the WAL still covers everything since the last
 // good one, and the store's checkpoint_errors counter records the miss.
 func (s *Sniffer) checkpointDurable() error {
-	s.runner.Drain()
+	s.drainPipeline()
 	ck := &store.Checkpoint{
 		TweetWatermark: int64(s.lastCaptured),
 		Components:     make(map[string][]byte, 5),

@@ -154,8 +154,11 @@ type Monitor struct {
 	// ExtractCapture calls. In streaming mode Match runs on the engine
 	// goroutine and ExtractCapture on the feature stage goroutine, so the
 	// two scratch slices must never be touched by the other method.
-	scratchGroups []int
-	scratchAttrs  []string
+	// scratchMergeAttrs belongs to CompleteCapture, which the sharded
+	// coordinator runs on its merge goroutine.
+	scratchGroups     []int
+	scratchAttrs      []string
+	scratchMergeAttrs []string
 
 	rotations int
 	ins       *monitorInstruments
@@ -408,6 +411,48 @@ func (m *Monitor) ExtractCapture(c *Capture) {
 	})
 	m.scratchAttrs = attrKeys[:0]
 	c.Trace.Finish()
+}
+
+// StatelessVector computes the order-independent portion of c's feature
+// vector from its frozen profile snapshots. It reads no mutable monitor or
+// extractor state, so shard workers call it concurrently and out of stream
+// order; CompleteCapture later fills in the stateful remainder serially.
+func (m *Monitor) StatelessVector(c *Capture) features.Vector {
+	return features.Stateless(features.Observation{
+		Tweet:    c.Tweet,
+		Sender:   c.senderSnap,
+		Receiver: c.receiverSnap,
+	})
+}
+
+// CompleteCapture finishes a capture whose stateless vector a shard worker
+// already computed: it fills the stateful features (repeated-content,
+// behaviour, environment score) in stream order and finishes the capture
+// trace. Given vec == StatelessVector(c), the resulting c.Vector is
+// bit-identical to what ExtractCapture would have produced.
+func (m *Monitor) CompleteCapture(c *Capture, vec features.Vector) {
+	sp := c.Trace.StartSpan("feature_complete")
+	attrKeys := m.scratchMergeAttrs[:0]
+	for _, gi := range c.Groups {
+		attrKeys = append(attrKeys, m.groups[gi].Spec.Selector.Attr.Key())
+	}
+	m.extractor.CompleteStateful(features.Observation{
+		Tweet:    c.Tweet,
+		Sender:   c.senderSnap,
+		Receiver: c.receiverSnap,
+		AttrKeys: attrKeys,
+		Trace:    c.Trace,
+	}, &vec)
+	c.Vector = vec
+	m.scratchMergeAttrs = attrKeys[:0]
+	sp.End()
+	c.Trace.Finish()
+}
+
+// GroupAttrKey exposes group gi's selector attribute key (used by shard
+// workers to report per-group work without holding the monitor).
+func (m *Monitor) GroupAttrKey(gi int) string {
+	return m.groups[gi].Spec.Selector.Attr.Key()
 }
 
 // appendUnique appends the group indices from gis not already in dst.

@@ -284,6 +284,17 @@ type Observation struct {
 func (e *Extractor) Extract(o Observation) Vector {
 	sp := o.Trace.StartSpan("feature_extract")
 	defer sp.End()
+	v := Stateless(o)
+	e.CompleteStateful(o, &v)
+	return v
+}
+
+// Stateless computes the order-independent portion of the feature vector:
+// the sender/receiver profile features and every content feature except
+// repeated-content. It reads only the observation's frozen snapshots — no
+// extractor state — so shard workers may call it concurrently and out of
+// stream order; (*Extractor).CompleteStateful fills in the rest serially.
+func Stateless(o Observation) Vector {
 	var v Vector
 	t := o.Tweet
 	now := t.CreatedAt
@@ -295,11 +306,6 @@ func (e *Extractor) Extract(o Observation) Vector {
 		fillProfile(&v, FReceiverFriends, o.Receiver, now)
 	}
 
-	// Content features.
-	e.textSeen[t.Text]++
-	if e.textSeen[t.Text] > 1 {
-		v[FContentRepeated] = 1
-	}
 	v[FContentKind] = float64(t.Kind)
 	v[FContentSource] = float64(t.Source)
 	v[FContentHashtags] = float64(len(t.Hashtags))
@@ -307,6 +313,20 @@ func (e *Extractor) Extract(o Observation) Vector {
 	v[FContentLength] = float64(utf8.RuneCountInString(t.Text))
 	v[FContentEmoji] = float64(textutil.CountEmoji(t.Text))
 	v[FContentDigits] = float64(textutil.CountDigits(t.Text))
+	return v
+}
+
+// CompleteStateful fills the stateful features — repeated-content and the
+// 18 behaviour features — into a vector begun by Stateless, then folds the
+// observation into the behavioural state. Completions must run in stream
+// (chronological) order; Extract is the single-call composition.
+func (e *Extractor) CompleteStateful(o Observation, v *Vector) {
+	t := o.Tweet
+
+	e.textSeen[t.Text]++
+	if e.textSeen[t.Text] > 1 {
+		v[FContentRepeated] = 1
+	}
 
 	// Behavioural features use the state *before* this observation, then
 	// the observation is folded in.
@@ -335,7 +355,6 @@ func (e *Extractor) Extract(o Observation) Vector {
 	v[FBehaviorEnvScore] = e.EnvScore(o.AttrKeys)
 
 	e.fold(o)
-	return v
 }
 
 // mentionTimeSeconds computes f_m = T_mention − T_post: the gap between the

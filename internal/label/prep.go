@@ -1,0 +1,134 @@
+package label
+
+import (
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/minhash"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/textutil"
+)
+
+// This file exports the pure, per-item half of the label store's ingest —
+// normalization, shingling, MinHash signing, Σ-Seq computation — so shard
+// workers (in-process goroutines or separate worker processes on the NDJSON
+// wire) can precompute it concurrently. AddBatchPrepared then applies the
+// stateful index joins sequentially, bit-identical to AddBatch.
+
+// TweetPrep is the precomputed pure portion of one tweet add. Fields are
+// exported (and JSON-shaped) so proc-mode shard workers can ship preps over
+// the wire; uint64 signature words survive the JSON round-trip exactly.
+type TweetPrep struct {
+	Norm string            `json:"norm"`
+	Sig  minhash.Signature `json:"sig,omitempty"` // nil below MinTweetLen
+}
+
+// UserPrep is the precomputed pure portion of one first-appearance user
+// add, derived from the capture-time profile snapshot.
+type UserPrep struct {
+	NameSeq  string            `json:"name_seq"`
+	DescNorm string            `json:"desc_norm"`
+	DescSig  minhash.Signature `json:"desc_sig,omitempty"` // nil when DescNorm == ""
+}
+
+// Prepper computes label preps outside the store. It derives its MinHash
+// schemes from the same Config (Seed for descriptions, Seed+1 for tweets)
+// NewStore uses, so its signatures are bit-identical to the store's own
+// precompute. A Prepper is immutable after construction and safe for
+// concurrent use... except that minhash.Scheme.Sign must itself be
+// re-entrant, which it is (read-only coefficient tables).
+type Prepper struct {
+	cfg        Config
+	descScheme *minhash.Scheme
+	twScheme   *minhash.Scheme
+}
+
+// NewPrepper creates a Prepper matching NewStore(cfg).
+func NewPrepper(cfg Config) *Prepper {
+	cfg = cfg.withDefaults()
+	return &Prepper{
+		cfg:        cfg,
+		descScheme: newLSHScheme(cfg.Seed),
+		twScheme:   newLSHScheme(cfg.Seed + 1),
+	}
+}
+
+// PrepTweet precomputes the normalization + near-duplicate signature of one
+// tweet, exactly as AddBatch's parallel precompute does.
+func (p *Prepper) PrepTweet(t *socialnet.Tweet) TweetPrep {
+	tp := TweetPrep{Norm: normalizedKey(t)}
+	if len(tp.Norm) >= p.cfg.MinTweetLen {
+		tp.Sig = p.twScheme.Sign(textutil.Shingles(tp.Norm, 3))
+	}
+	return tp
+}
+
+// PrepUser precomputes the Σ-Seq and description signature of one profile,
+// exactly as AddBatch's parallel precompute does for a first appearance.
+func (p *Prepper) PrepUser(profile *socialnet.Account) UserPrep {
+	up := UserPrep{
+		NameSeq:  textutil.ClassSeqWithRunLengths(profile.ScreenName),
+		DescNorm: textutil.NormalizeDescription(profile.Description),
+	}
+	if up.DescNorm != "" {
+		up.DescSig = p.descScheme.Sign(textutil.Shingles(up.DescNorm, 3))
+	}
+	return up
+}
+
+// AddBatchPrepared ingests one micro-batch whose pure precompute already
+// happened elsewhere. tweetPreps[i] must be PrepTweet(tweets[i]);
+// userPreps[i], when non-nil, must be PrepUser of authors[i]'s capture-time
+// profile. A nil userPrep for a first-appearance author is recomputed
+// inline (shard workers dedupe preps per shard, and the globally-first
+// capture of an author is always the shard-locally-first too, so inline
+// recompute only covers callers that skipped prep entirely). Results are
+// bit-identical to AddBatch over the same arguments.
+func (s *Store) AddBatchPrepared(tweets []*socialnet.Tweet, authors, profiles []*socialnet.Account,
+	tweetPreps []TweetPrep, userPreps []*UserPrep) []bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// First-appearance users in this batch, in batch order — the same
+	// dedupe AddBatch runs.
+	var newUsers []userPrep
+	queued := make(map[socialnet.AccountID]struct{})
+	for i := range tweets {
+		author := authors[i]
+		if author == nil {
+			continue
+		}
+		if _, ok := s.users[author.ID]; ok {
+			continue
+		}
+		if _, ok := queued[author.ID]; ok {
+			continue
+		}
+		queued[author.ID] = struct{}{}
+		profile := profiles[i]
+		if profile == nil {
+			profile = author
+		}
+		up := userPrep{batchIdx: i, user: author}
+		if p := userPreps[i]; p != nil {
+			up.nameSeq, up.descNorm, up.descSig = p.NameSeq, p.DescNorm, p.DescSig
+		} else {
+			up.nameSeq = textutil.ClassSeqWithRunLengths(profile.ScreenName)
+			up.descNorm = textutil.NormalizeDescription(profile.Description)
+			if up.descNorm != "" {
+				up.descSig = s.descScheme.Sign(textutil.Shingles(up.descNorm, 3))
+			}
+		}
+		newUsers = append(newUsers, up)
+	}
+
+	for _, up := range newUsers {
+		s.addUserLocked(up)
+	}
+	spam := make([]bool, len(tweets))
+	for i, t := range tweets {
+		profile := profiles[i]
+		if profile == nil {
+			profile = authors[i]
+		}
+		spam[i] = s.addTweetLocked(t, profile, tweetPrep{norm: tweetPreps[i].Norm, sig: tweetPreps[i].Sig})
+	}
+	return spam
+}

@@ -18,14 +18,14 @@ type instruments struct {
 func newInstruments(r *metrics.Registry) *instruments {
 	return &instruments{
 		depth: r.GaugeVec("ph_pipeline_queue_depth",
-			"Items buffered in a stage's input queue.", "stage"),
+			"Items buffered in a stage's input queue.", "stage", "shard"),
 		backpressure: r.CounterVec("ph_pipeline_backpressure_total",
-			"Pushes that found the stage's input queue full and had to block.", "stage"),
+			"Pushes that found the stage's input queue full and had to block.", "stage", "shard"),
 		batches: r.CounterVec("ph_pipeline_batches_total",
-			"Micro-batches flushed through a stage.", "stage"),
+			"Micro-batches flushed through a stage.", "stage", "shard"),
 		items: r.CounterVec("ph_pipeline_items_total",
-			"Items processed by a stage across all micro-batches.", "stage"),
+			"Items processed by a stage across all micro-batches.", "stage", "shard"),
 		flushSecs: r.HistogramVec("ph_pipeline_flush_seconds",
-			"Wall-clock latency of one micro-batch flush through a stage.", nil, "stage"),
+			"Wall-clock latency of one micro-batch flush through a stage.", nil, "stage", "shard"),
 	}
 }

@@ -49,6 +49,11 @@ type Config struct {
 	// Tracer records one trace per non-empty stage flush; nil binds the
 	// process-wide trace.Default() tracer (disabled by default).
 	Tracer *trace.Tracer
+	// Shard is the shard label value stamped on every ph_pipeline_* metric
+	// this runner emits ("0" when unset). The sharded sniffer runs one
+	// runner per shard plus a "coord" runner, so per-shard imbalance is
+	// visible at /metrics.
+	Shard string
 }
 
 // DefaultFlushSize is the default micro-batch size bound.
@@ -72,6 +77,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Tracer == nil {
 		c.Tracer = trace.Default()
+	}
+	if c.Shard == "" {
+		c.Shard = "0"
 	}
 	return c
 }
@@ -120,8 +128,8 @@ func NewQueue[T any](r *Runner, name string) *Queue[T] {
 	return &Queue[T]{
 		name:         name,
 		ch:           make(chan T, r.cfg.QueueCap),
-		depth:        r.ins.depth.With(name),
-		backpressure: r.ins.backpressure.With(name),
+		depth:        r.ins.depth.With(name, r.cfg.Shard),
+		backpressure: r.ins.backpressure.With(name, r.cfg.Shard),
 	}
 }
 
@@ -265,9 +273,9 @@ func (r *Runner) flush(name string, n int, fn func(tr *trace.Trace)) {
 		tr.SetAttr("batch", strconv.Itoa(n))
 	}
 	tr.Finish()
-	r.ins.batches.With(name).Inc()
-	r.ins.items.With(name).Add(float64(n))
-	r.ins.flushSecs.With(name).ObserveDuration(start)
+	r.ins.batches.With(name, r.cfg.Shard).Inc()
+	r.ins.items.With(name, r.cfg.Shard).Add(float64(n))
+	r.ins.flushSecs.With(name, r.cfg.Shard).ObserveDuration(start)
 }
 
 // Through registers a stage that consumes in, applies fn per micro-batch,

@@ -1,0 +1,215 @@
+package shard
+
+import (
+	"strconv"
+	"sync"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/core"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/features"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/label"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/pipeline"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+)
+
+// Item is one matched capture in flight from a shard worker to the
+// coordinator: the capture plus everything the shard precomputed for it
+// (stateless features, label preps). Seq is the coordinator-assigned
+// ingest sequence number; the merge stage reorders by it so downstream
+// stages observe captures in exactly the single-monitor stream order.
+type Item struct {
+	Seq       uint64
+	C         *core.Capture
+	Vec       features.Vector
+	TweetPrep label.TweetPrep
+	UserPrep  *label.UserPrep
+}
+
+// labeledItem pairs a merged capture with its rule-label verdict between
+// the coordinator's label and detect stages.
+type labeledItem struct {
+	c    *core.Capture
+	spam bool
+}
+
+// FanoutConfig parameterizes the in-process sharded topology.
+type FanoutConfig struct {
+	// Shards is the shard count (min 1).
+	Shards int
+	// Pipeline is the per-runner pipeline configuration; the fanout
+	// stamps Shard itself ("1".."N" for shards, "coord" for the
+	// coordinator).
+	Pipeline pipeline.Config
+	// Monitor supplies stateless feature extraction for shard workers.
+	Monitor *core.Monitor
+	// Prepper supplies label precompute for shard workers.
+	Prepper *label.Prepper
+	// Complete runs on the coordinator for every capture, in stream
+	// order, before labeling: stateful feature completion, capture-store
+	// append, WAL append.
+	Complete func(it *Item)
+	// Label rule-labels one merged micro-batch, in stream order.
+	Label func(items []Item) []bool
+	// Observe feeds one labeled capture to the online detector.
+	Observe func(c *core.Capture, spam bool)
+}
+
+// Fanout is the in-process sharded pipeline: N shard runners (stateless
+// extraction + label precompute over value-partitioned captures) feeding a
+// coordinator runner (merge → label → detect) through one shared queue.
+//
+//	Ingest ──ring──▶ shard 1..N ("extract") ──▶ merge ─▶ label ─▶ detect
+//
+// Shards own disjoint node subsets, so every capture visits exactly one
+// shard; the merge stage's sequence-number reorder restores the global
+// stream order those parallel shards scrambled.
+type Fanout struct {
+	cfg    FanoutConfig
+	ring   *Ring
+	seq    uint64
+	queues []*pipeline.Queue[Item]
+	shards []*pipeline.Runner
+	merge  *pipeline.Queue[Item]
+	coord  *pipeline.Runner
+
+	closeOnce sync.Once
+}
+
+// NewFanout builds and starts the sharded topology.
+func NewFanout(cfg FanoutConfig) *Fanout {
+	f := &Fanout{cfg: cfg, ring: NewRing(cfg.Shards)}
+	n := f.ring.Shards()
+
+	ccfg := cfg.Pipeline
+	ccfg.Shard = "coord"
+	coord := pipeline.NewRunner(ccfg)
+	f.merge = pipeline.NewQueue[Item](coord, "merge")
+	qLabel := pipeline.NewQueue[Item](coord, "label")
+	qDetect := pipeline.NewQueue[labeledItem](coord, "detect")
+
+	// merge: reorder by ingest sequence. pending holds out-of-order
+	// arrivals; next is the sequence number the stream is waiting on.
+	// Only this stage goroutine touches either.
+	pending := make(map[uint64]Item)
+	next := uint64(1)
+	pipeline.Through(coord, "merge", f.merge, qLabel, func(batch []Item) []Item {
+		ready := make([]Item, 0, len(batch))
+		for _, it := range batch {
+			pending[it.Seq] = it
+		}
+		for {
+			it, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			cfg.Complete(&it)
+			ready = append(ready, it)
+		}
+		return ready
+	})
+	pipeline.Through(coord, "label", qLabel, qDetect, func(items []Item) []labeledItem {
+		spam := cfg.Label(items)
+		out := make([]labeledItem, len(items))
+		for i, it := range items {
+			out[i] = labeledItem{c: it.C, spam: spam[i]}
+		}
+		return out
+	})
+	pipeline.Sink(coord, "detect", qDetect, func(batch []labeledItem) {
+		for _, li := range batch {
+			cfg.Observe(li.c, li.spam)
+		}
+	})
+	coord.Start()
+	f.coord = coord
+
+	for s := 0; s < n; s++ {
+		scfg := cfg.Pipeline
+		scfg.Shard = strconv.Itoa(s + 1)
+		r := pipeline.NewRunner(scfg)
+		q := pipeline.NewQueue[Item](r, "extract")
+		// seen tracks authors this shard already shipped a profile prep
+		// for. Captures of one author always land on the same shard (the
+		// ring keys on the receiver node, but an author's first capture is
+		// its global first appearance regardless of which shard saw it —
+		// see AddBatchPrepared's inline-recompute contract for the rest).
+		seen := make(map[socialnet.AccountID]struct{})
+		shardLabel := scfg.Shard
+		pipeline.Sink(r, "extract", q, func(batch []Item) {
+			for _, it := range batch {
+				sp := it.C.Trace.StartSpan("shard_extract")
+				sp.SetAttr("shard", shardLabel)
+				it.C.Trace.SetAttr("shard", shardLabel)
+				it.Vec = cfg.Monitor.StatelessVector(it.C)
+				it.TweetPrep = cfg.Prepper.PrepTweet(it.C.Tweet)
+				profile := it.C.SenderSnapshot()
+				if profile == nil {
+					profile = it.C.Sender
+				}
+				if profile != nil {
+					if _, ok := seen[profile.ID]; !ok {
+						seen[profile.ID] = struct{}{}
+						up := cfg.Prepper.PrepUser(profile)
+						it.UserPrep = &up
+					}
+				}
+				sp.End()
+				// it is a fresh copy per iteration; popBatch reuses its
+				// batch buffer, so pushing the copy is what keeps the
+				// merge queue safe.
+				_ = f.merge.Push(it)
+			}
+		})
+		r.Start()
+		f.queues = append(f.queues, q)
+		f.shards = append(f.shards, r)
+	}
+	return f
+}
+
+// Shards returns the effective shard count.
+func (f *Fanout) Shards() int { return f.ring.Shards() }
+
+// Ingest routes one freshly matched capture to its owning shard. It must
+// be called from a single goroutine (the engine's); the assigned sequence
+// numbers define the canonical merge order. Routing keys on the receiver
+// node id (the honeypot that captured the tweet), falling back to the
+// author id for captures with no resolvable receiver.
+func (f *Fanout) Ingest(c *core.Capture) {
+	f.seq++
+	id := c.Tweet.AuthorID
+	if r := c.ReceiverSnapshot(); r != nil {
+		id = r.ID
+	}
+	_ = f.queues[f.ring.Owner(id)].Push(Item{Seq: f.seq, C: c})
+}
+
+// Drain blocks until every capture ingested so far has fully cleared the
+// topology: shard runners first (so all merge pushes happened), then the
+// coordinator. After Drain, the merge stage's pending map is empty — the
+// reorder can only hold gaps while some earlier capture is still inside a
+// shard runner.
+func (f *Fanout) Drain() {
+	for _, r := range f.shards {
+		r.Drain()
+	}
+	f.coord.Drain()
+}
+
+// Close shuts the topology down in dependency order: shard queues close,
+// shard runners finish (after which no goroutine can push to the shared
+// merge queue), then the merge queue closes and the coordinator finishes.
+// Close is idempotent.
+func (f *Fanout) Close() {
+	f.closeOnce.Do(func() {
+		for _, q := range f.queues {
+			q.Close()
+		}
+		for _, r := range f.shards {
+			r.Wait()
+		}
+		f.merge.Close()
+		f.coord.Wait()
+	})
+}

@@ -1,0 +1,296 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/features"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/label"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/twitterapi"
+)
+
+// Transport abstracts a fleet of proc-mode shard workers so coordinator
+// failure-edge tests can inject faults (truncated responses, dead
+// workers) without real processes. The production implementation spawns
+// worker subprocesses and POSTs over loopback HTTP.
+type Transport interface {
+	// Epoch posts one epoch request body to a shard worker and returns
+	// the raw NDJSON response.
+	Epoch(shard int, body []byte) ([]byte, error)
+	// Restart tears down and respawns one worker after a failure. The
+	// replacement starts with empty shard-local state; the wire contract
+	// tolerates that (redundant profile preps are idempotent).
+	Restart(shard int) error
+	// Close shuts the whole fleet down.
+	Close() error
+}
+
+// Merged is one fully merged capture: the live engine tweet, the decoded
+// match-time profile snapshots, the union of every shard's group matches,
+// and the donor shard's precomputed vector and label preps.
+type Merged struct {
+	Tweet     *socialnet.Tweet
+	Sender    *socialnet.Account
+	Receiver  *socialnet.Account
+	Groups    []int
+	Vec       features.Vector
+	TweetPrep label.TweetPrep
+	UserPrep  *label.UserPrep
+}
+
+// ProcConfig parameterizes the separate-process shard coordinator.
+type ProcConfig struct {
+	// Shards is the worker count (min 1).
+	Shards int
+	// Lookup resolves live accounts at encode time (the simulation
+	// world's Account func).
+	Lookup func(socialnet.AccountID) *socialnet.Account
+	// Apply consumes one epoch's merged captures in stream order.
+	Apply func(batch []Merged) error
+	// Transport overrides the subprocess transport (tests). Nil spawns
+	// real workers by re-executing the current binary.
+	Transport Transport
+	// MaxRetries bounds how many times a failed shard epoch is retried
+	// after a worker restart (default 2).
+	MaxRetries int
+}
+
+// ProcCoordinator drives separate-process shards through the epoch wire:
+// per simulated hour it buffers every candidate tweet (encoded once, at
+// emit time, freezing the profile snapshots exactly as an in-process
+// match would), posts each shard its subset, merge-sorts the hit streams
+// by tweet id, and applies the merged captures. The hour boundary is the
+// rotation barrier: BeginEpoch distributes the post-rotation node
+// assignment, FlushEpoch completes strictly before the next rotation.
+type ProcCoordinator struct {
+	cfg  ProcConfig
+	ring *Ring
+	tr   Transport
+
+	epoch   int
+	nodes   map[socialnet.AccountID][]int
+	bufs    []bytes.Buffer
+	lines   map[int64][]byte
+	tweets  map[int64]*socialnet.Tweet
+	scratch []int
+}
+
+// NewProcCoordinator builds the coordinator and spawns the worker fleet.
+func NewProcCoordinator(cfg ProcConfig) (*ProcCoordinator, error) {
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	}
+	ring := NewRing(cfg.Shards)
+	tr := cfg.Transport
+	if tr == nil {
+		var err error
+		if tr, err = newProcTransport(ring.Shards()); err != nil {
+			return nil, err
+		}
+	}
+	return &ProcCoordinator{
+		cfg:    cfg,
+		ring:   ring,
+		tr:     tr,
+		bufs:   make([]bytes.Buffer, ring.Shards()),
+		lines:  make(map[int64][]byte),
+		tweets: make(map[int64]*socialnet.Tweet),
+	}, nil
+}
+
+// Shards returns the effective shard count.
+func (pc *ProcCoordinator) Shards() int { return pc.ring.Shards() }
+
+// BeginEpoch opens a new epoch with the post-rotation node set. It runs on
+// the engine goroutine at hour start, before any of the hour's traffic.
+func (pc *ProcCoordinator) BeginEpoch(nodes map[socialnet.AccountID][]int) {
+	pc.epoch++
+	pc.nodes = nodes
+	n := pc.ring.Shards()
+	assign := make([][]NodeAssignment, n)
+	for id, groups := range nodes {
+		s := pc.ring.Owner(id)
+		assign[s] = append(assign[s], NodeAssignment{ID: int64(id), Groups: groups})
+	}
+	for s := 0; s < n; s++ {
+		// Node order is irrelevant to workers (they build a map) but
+		// sorting keeps the request bytes deterministic for the wire
+		// fingerprint in tests.
+		sort.Slice(assign[s], func(i, j int) bool { return assign[s][i].ID < assign[s][j].ID })
+		pc.bufs[s].Reset()
+		hdr, _ := json.Marshal(epochHeader{Epoch: pc.epoch, Nodes: assign[s]})
+		pc.bufs[s].Write(hdr)
+		pc.bufs[s].WriteByte('\n')
+	}
+	clear(pc.lines)
+	clear(pc.tweets)
+}
+
+// OnTweet is the coordinator's stream tap, run on the engine goroutine for
+// every emitted tweet. Candidates (any mention or author in the epoch's
+// node set) are wire-encoded once — freezing the profiles at emit time —
+// and buffered for every shard owning a matched node.
+func (pc *ProcCoordinator) OnTweet(t *socialnet.Tweet) {
+	targets := pc.scratch[:0]
+	for _, m := range t.Mentions {
+		if _, ok := pc.nodes[m]; ok {
+			targets = appendUnique(targets, []int{pc.ring.Owner(m)})
+		}
+	}
+	if _, ok := pc.nodes[t.AuthorID]; ok {
+		targets = appendUnique(targets, []int{pc.ring.Owner(t.AuthorID)})
+	}
+	if len(targets) == 0 {
+		pc.scratch = targets
+		return
+	}
+	wire := twitterapi.EncodeTweet(t, pc.cfg.Lookup, true)
+	line, err := json.Marshal(wire)
+	if err != nil {
+		pc.scratch = targets[:0]
+		return
+	}
+	for _, s := range targets {
+		pc.bufs[s].Write(line)
+		pc.bufs[s].WriteByte('\n')
+	}
+	id := int64(t.ID)
+	pc.lines[id] = line
+	pc.tweets[id] = t
+	pc.scratch = targets[:0]
+}
+
+// FlushEpoch posts the buffered epoch to every shard, retrying a failed
+// shard after a worker restart (the request buffer is retained untouched,
+// so a retried epoch is byte-identical — and the response is idempotent),
+// then merges the hit streams and applies the captures in stream order.
+func (pc *ProcCoordinator) FlushEpoch() error {
+	n := pc.ring.Shards()
+	hits := make([][]Hit, n)
+	for s := 0; s < n; s++ {
+		// Detach the request bytes from the reusable epoch buffer: the
+		// HTTP transport may still be draining an aborted body write in a
+		// background goroutine after a failed attempt returns, and the
+		// next BeginEpoch rewrites the buffer in place.
+		body := append([]byte(nil), pc.bufs[s].Bytes()...)
+		var lastErr error
+		for attempt := 0; attempt <= pc.cfg.MaxRetries; attempt++ {
+			if attempt > 0 {
+				if err := pc.tr.Restart(s); err != nil {
+					lastErr = fmt.Errorf("restart: %w", err)
+					continue
+				}
+			}
+			resp, err := pc.tr.Epoch(s, body)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			hs, err := parseHits(resp, s)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			hits[s], lastErr = hs, nil
+			break
+		}
+		if lastErr != nil {
+			return fmt.Errorf("shard: epoch %d shard %d failed after %d retries: %w",
+				pc.epoch, s, pc.cfg.MaxRetries, lastErr)
+		}
+	}
+	merged, err := pc.merge(hits)
+	if err != nil {
+		return err
+	}
+	if len(merged) == 0 {
+		return nil
+	}
+	return pc.cfg.Apply(merged)
+}
+
+// merge k-way-merges the per-shard hit streams (each ascending in tweet
+// id) back into global stream order, combining multi-shard hits on the
+// same tweet: groups are the sorted union, and the donor hit — globally
+// smallest resolvable mention index, mirroring Match's receiver rule —
+// supplies the vector, receiver, and preps.
+func (pc *ProcCoordinator) merge(hits [][]Hit) ([]Merged, error) {
+	heads := make([]int, len(hits))
+	var out []Merged
+	for {
+		minID := int64(-1)
+		for s, hs := range hits {
+			if heads[s] < len(hs) {
+				if id := hs[heads[s]].TweetID; minID < 0 || id < minID {
+					minID = id
+				}
+			}
+		}
+		if minID < 0 {
+			return out, nil
+		}
+		var group []Hit
+		for s, hs := range hits {
+			if heads[s] < len(hs) && hs[heads[s]].TweetID == minID {
+				group = append(group, hs[heads[s]])
+				heads[s]++
+			}
+		}
+		m, err := pc.combine(minID, group)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+}
+
+// combine folds the (ascending-shard-ordered) hits on one tweet into a
+// Merged capture.
+func (pc *ProcCoordinator) combine(tweetID int64, group []Hit) (Merged, error) {
+	t, ok := pc.tweets[tweetID]
+	if !ok {
+		return Merged{}, fmt.Errorf("shard: hit for unknown tweet %d", tweetID)
+	}
+	donor := group[0]
+	var groups []int
+	for _, h := range group {
+		groups = appendUnique(groups, h.Groups)
+		if h.MentionIdx >= 0 && (donor.MentionIdx < 0 || h.MentionIdx < donor.MentionIdx) {
+			donor = h
+		}
+	}
+	sort.Ints(groups)
+
+	var wt twitterapi.Tweet
+	if err := json.Unmarshal(pc.lines[tweetID], &wt); err != nil {
+		return Merged{}, fmt.Errorf("shard: tweet %d line: %w", tweetID, err)
+	}
+	_, sender := decodeCandidate(&wt)
+	var receiver *socialnet.Account
+	if donor.MentionIdx >= 0 {
+		receiver = twitterapi.DecodeUser(&wt.XMentionUsers[donor.MentionIdx])
+	}
+	m := Merged{
+		Tweet:     t,
+		Sender:    sender,
+		Receiver:  receiver,
+		Groups:    groups,
+		TweetPrep: donor.TweetPrep,
+	}
+	copy(m.Vec[:], donor.Vec)
+	// Any shard's prep of this author works (pure function of the same
+	// embedded snapshot); take the first in shard order for determinism.
+	for _, h := range group {
+		if h.UserPrep != nil {
+			m.UserPrep = h.UserPrep
+			break
+		}
+	}
+	return m, nil
+}
+
+// Close shuts the worker fleet down.
+func (pc *ProcCoordinator) Close() error { return pc.tr.Close() }

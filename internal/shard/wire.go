@@ -1,0 +1,269 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/features"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/label"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/pipeline"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/twitterapi"
+)
+
+// Proc-mode epoch wire (NDJSON over HTTP POST, one round-trip per shard
+// per simulated hour — DESIGN.md §15). The request is a header line naming
+// the shard's node subset for the epoch followed by one twitterapi wire
+// tweet per line (profiles embedded via x_mention_users). The response is
+// one Hit per matched tweet, in request order, closed by a {"done":N}
+// trailer whose count lets the coordinator detect truncated streams.
+
+// NodeAssignment is one honeypot node handed to a shard for an epoch.
+type NodeAssignment struct {
+	ID     int64 `json:"id"`
+	Groups []int `json:"groups"`
+}
+
+// epochHeader is the first request line of an epoch POST.
+type epochHeader struct {
+	Epoch int              `json:"epoch"`
+	Nodes []NodeAssignment `json:"nodes"`
+}
+
+// Hit is one worker-side match result: the shard's view of the capture
+// (groups from its node subset only) plus everything it precomputed.
+type Hit struct {
+	TweetID int64 `json:"tweet_id"`
+	// MentionIdx is the index (into the tweet's mention list) of the
+	// first mention matching this shard's subset whose profile resolved,
+	// -1 when the capture matched through the author only. The
+	// coordinator picks the hit with the globally smallest index as the
+	// receiver donor, reproducing Match's first-resolvable-mention rule.
+	MentionIdx int             `json:"mention_idx"`
+	Groups     []int           `json:"groups"`
+	Vec        []float64       `json:"vec"`
+	TweetPrep  label.TweetPrep `json:"tweet_prep"`
+	UserPrep   *label.UserPrep `json:"user_prep,omitempty"`
+}
+
+// hitLine is the response-line union: a Hit or the final trailer.
+type hitLine struct {
+	Hit
+	Done *int `json:"done,omitempty"`
+}
+
+// scannerFor builds a line scanner sized for embedded-profile tweet lines.
+func scannerFor(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return sc
+}
+
+// WorkerCore is one proc-mode shard's matching engine, independent of its
+// HTTP shell so failure-injection tests can drive it in-memory. It keeps
+// the shard-local first-appearance set across epochs; a respawned worker
+// starts with an empty set, which only makes it ship redundant profile
+// preps (AddBatchPrepared recomputes or ignores as needed), never wrong
+// ones.
+type WorkerCore struct {
+	shard   int
+	prepper *label.Prepper
+	pcfg    pipeline.Config
+	seen    map[socialnet.AccountID]struct{}
+}
+
+// NewWorkerCore creates the matching engine for one shard. lcfg must be
+// the coordinator's labeling config (the default config — preps depend
+// only on its seed and length bounds).
+func NewWorkerCore(shard int, lcfg label.Config, pcfg pipeline.Config) *WorkerCore {
+	pcfg.Shard = strconv.Itoa(shard + 1)
+	return &WorkerCore{
+		shard:   shard,
+		prepper: label.NewPrepper(lcfg),
+		pcfg:    pcfg,
+		seen:    make(map[socialnet.AccountID]struct{}),
+	}
+}
+
+// Epoch consumes one epoch request stream and writes the response stream.
+// Tweets flow through a shard-labeled staged pipeline: the request reader
+// feeds a match+prep stage whose single sink goroutine writes hits in
+// input order, so responses are ascending in tweet id by construction.
+func (w *WorkerCore) Epoch(req io.Reader, resp io.Writer) error {
+	sc := scannerFor(req)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("shard: epoch header: %w", err)
+		}
+		return fmt.Errorf("shard: empty epoch request")
+	}
+	var hdr epochHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return fmt.Errorf("shard: epoch header: %w", err)
+	}
+	nodes := make(map[socialnet.AccountID][]int, len(hdr.Nodes))
+	for _, na := range hdr.Nodes {
+		nodes[socialnet.AccountID(na.ID)] = na.Groups
+	}
+
+	bw := bufio.NewWriter(resp)
+	enc := json.NewEncoder(bw)
+	count := 0
+	var writeErr error
+
+	r := pipeline.NewRunner(w.pcfg)
+	q := pipeline.NewQueue[*twitterapi.Tweet](r, "match")
+	pipeline.Sink(r, "match", q, func(batch []*twitterapi.Tweet) {
+		for _, wt := range batch {
+			hit, ok := w.match(nodes, wt)
+			if !ok || writeErr != nil {
+				continue
+			}
+			if writeErr = enc.Encode(hit); writeErr == nil {
+				count++
+			}
+		}
+	})
+	r.Start()
+
+	var scanErr error
+	for sc.Scan() {
+		wt := new(twitterapi.Tweet)
+		if scanErr = json.Unmarshal(sc.Bytes(), wt); scanErr != nil {
+			break
+		}
+		_ = q.Push(wt)
+	}
+	if scanErr == nil {
+		scanErr = sc.Err()
+	}
+	q.Close()
+	r.Wait()
+	if scanErr != nil {
+		return fmt.Errorf("shard: epoch request: %w", scanErr)
+	}
+	if writeErr != nil {
+		return fmt.Errorf("shard: epoch response: %w", writeErr)
+	}
+	if err := enc.Encode(struct {
+		Done int `json:"done"`
+	}{count}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// match runs the mention filter for one wire tweet against the epoch's
+// node subset and precomputes the stateless vector and label preps from
+// the embedded profile snapshots.
+func (w *WorkerCore) match(nodes map[socialnet.AccountID][]int, wt *twitterapi.Tweet) (Hit, bool) {
+	var groups []int
+	mentionIdx := -1
+	for i, m := range wt.Entities.Mentions {
+		if gis, ok := nodes[socialnet.AccountID(m.ID)]; ok {
+			groups = appendUnique(groups, gis)
+			if mentionIdx < 0 && i < len(wt.XMentionUsers) && wt.XMentionUsers[i].ID != 0 {
+				mentionIdx = i
+			}
+		}
+	}
+	if gis, ok := nodes[socialnet.AccountID(wt.User.ID)]; ok {
+		groups = appendUnique(groups, gis)
+	}
+	if len(groups) == 0 {
+		return Hit{}, false
+	}
+	sort.Ints(groups)
+
+	t, sender := decodeCandidate(wt)
+	var receiver *socialnet.Account
+	if mentionIdx >= 0 {
+		receiver = twitterapi.DecodeUser(&wt.XMentionUsers[mentionIdx])
+	}
+	vec := features.Stateless(features.Observation{Tweet: t, Sender: sender, Receiver: receiver})
+	hit := Hit{
+		TweetID:    wt.ID,
+		MentionIdx: mentionIdx,
+		Groups:     groups,
+		Vec:        vec[:],
+		TweetPrep:  w.prepper.PrepTweet(t),
+	}
+	if sender != nil {
+		if _, ok := w.seen[sender.ID]; !ok {
+			w.seen[sender.ID] = struct{}{}
+			up := w.prepper.PrepUser(sender)
+			hit.UserPrep = &up
+		}
+	}
+	return hit, true
+}
+
+// decodeCandidate reconstructs the tweet and its author snapshot from the
+// wire, honouring the author-missing marker (a capture whose author lookup
+// failed at emit time has no sender snapshot, exactly as Match produces).
+func decodeCandidate(wt *twitterapi.Tweet) (*socialnet.Tweet, *socialnet.Account) {
+	t, sender := twitterapi.DecodeTweet(wt)
+	if wt.XAuthorMissing {
+		sender = nil
+	}
+	return t, sender
+}
+
+// appendUnique merges gis into dst, preserving set semantics (the same
+// helper Match uses for multi-mention tweets).
+func appendUnique(dst []int, gis []int) []int {
+next:
+	for _, gi := range gis {
+		for _, have := range dst {
+			if have == gi {
+				continue next
+			}
+		}
+		dst = append(dst, gi)
+	}
+	return dst
+}
+
+// parseHits decodes one shard's epoch response, verifying the done
+// trailer: a missing trailer or a count mismatch means the stream was
+// truncated mid-write (worker died) and the epoch must be retried.
+func parseHits(resp []byte, shard int) ([]Hit, error) {
+	var hits []Hit
+	sc := scannerFor(bytes.NewReader(resp))
+	done := -1
+	for sc.Scan() {
+		if done >= 0 {
+			return nil, fmt.Errorf("shard %d: data after done trailer", shard)
+		}
+		var line hitLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return nil, fmt.Errorf("shard %d: response line: %w", shard, err)
+		}
+		if line.Done != nil {
+			done = *line.Done
+			continue
+		}
+		if len(line.Vec) != features.NumFeatures {
+			return nil, fmt.Errorf("shard %d: hit vector has %d features", shard, len(line.Vec))
+		}
+		if n := len(hits); n > 0 && hits[n-1].TweetID >= line.TweetID {
+			return nil, fmt.Errorf("shard %d: hits out of order", shard)
+		}
+		hits = append(hits, line.Hit)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("shard %d: response: %w", shard, err)
+	}
+	if done < 0 {
+		return nil, fmt.Errorf("shard %d: response truncated (no done trailer)", shard)
+	}
+	if done != len(hits) {
+		return nil, fmt.Errorf("shard %d: response truncated (%d hits, trailer says %d)", shard, len(hits), done)
+	}
+	return hits, nil
+}

@@ -1,0 +1,189 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/label"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/pipeline"
+)
+
+// EnvWorker marks a process as a proc-mode shard worker; its value is
+// "<shard>/<shards>". The coordinator spawns workers by re-executing the
+// current binary with this variable set, so any binary embedding the
+// coordinator must call MaybeWorker first thing in main (and in TestMain).
+const EnvWorker = "PH_SHARD_WORKER"
+
+// addrPrefix tags the worker's listen-address line on stdout.
+const addrPrefix = "PH_SHARD_ADDR "
+
+// MaybeWorker turns the current process into a shard worker when the
+// worker env marker is set: it serves the epoch RPC on a loopback
+// listener, announces the address on stdout, and exits when stdin closes
+// (coordinator shutdown or death). It never returns in worker processes
+// and is a no-op otherwise.
+func MaybeWorker() {
+	spec := os.Getenv(EnvWorker)
+	if spec == "" {
+		return
+	}
+	var shardIdx, shards int
+	if _, err := fmt.Sscanf(spec, "%d/%d", &shardIdx, &shards); err != nil {
+		fmt.Fprintf(os.Stderr, "shard worker: bad %s=%q: %v\n", EnvWorker, spec, err)
+		os.Exit(2)
+	}
+	if err := runWorker(shardIdx); err != nil {
+		fmt.Fprintf(os.Stderr, "shard worker %d: %v\n", shardIdx, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// runWorker serves one shard's epoch RPC until stdin closes.
+func runWorker(shardIdx int) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	core := NewWorkerCore(shardIdx, label.DefaultConfig(), pipeline.Config{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /shard/epoch", func(w http.ResponseWriter, r *http.Request) {
+		// Buffer the whole response and write it only after the request
+		// body is fully consumed: HTTP/1.1 is half-duplex, and the Go
+		// server reacts to a response write with the body still uploading
+		// by draining and closing the body, truncating the epoch stream
+		// mid-request. A failed epoch maps to a non-200, which the
+		// coordinator treats like a dead worker and retries.
+		var buf bytes.Buffer
+		if err := core.Epoch(r.Body, &buf); err != nil {
+			fmt.Fprintf(os.Stderr, "shard worker %d: epoch: %v\n", shardIdx, err)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(buf.Bytes())
+	})
+	srv := &http.Server{Handler: mux}
+	go func() {
+		// The coordinator holds our stdin pipe open for our lifetime;
+		// EOF means shutdown (or a dead coordinator — no orphans).
+		_, _ = io.Copy(io.Discard, os.Stdin)
+		os.Exit(0)
+	}()
+	fmt.Printf("%shttp://%s\n", addrPrefix, ln.Addr())
+	return srv.Serve(ln)
+}
+
+// workerProc is one spawned worker subprocess.
+type workerProc struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	addr  string
+}
+
+// procTransport is the production Transport: one worker subprocess per
+// shard, epoch requests POSTed over loopback HTTP.
+type procTransport struct {
+	shards  int
+	client  *http.Client
+	workers []*workerProc
+}
+
+func newProcTransport(shards int) (*procTransport, error) {
+	pt := &procTransport{
+		shards: shards,
+		client: &http.Client{Timeout: 5 * time.Minute},
+	}
+	for s := 0; s < shards; s++ {
+		w, err := spawnWorker(s, shards)
+		if err != nil {
+			_ = pt.Close()
+			return nil, err
+		}
+		pt.workers = append(pt.workers, w)
+	}
+	return pt, nil
+}
+
+// spawnWorker re-executes the current binary as a worker and waits for it
+// to announce its listen address.
+func spawnWorker(shardIdx, shards int) (*workerProc, error) {
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), fmt.Sprintf("%s=%d/%d", EnvWorker, shardIdx, shards))
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("shard: spawn worker %d: %w", shardIdx, err)
+	}
+	br := bufio.NewReader(stdout)
+	line, err := br.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, addrPrefix) {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+		return nil, fmt.Errorf("shard: worker %d announced %q: %v", shardIdx, line, err)
+	}
+	go func() { _, _ = io.Copy(io.Discard, br) }()
+	return &workerProc{
+		cmd:   cmd,
+		stdin: stdin,
+		addr:  strings.TrimSpace(strings.TrimPrefix(line, addrPrefix)),
+	}, nil
+}
+
+func (w *workerProc) kill() {
+	_ = w.stdin.Close()
+	_ = w.cmd.Process.Kill()
+	_, _ = cmdWait(w.cmd)
+}
+
+// cmdWait swallows the expected kill error.
+func cmdWait(cmd *exec.Cmd) (bool, error) {
+	err := cmd.Wait()
+	return err == nil, err
+}
+
+func (pt *procTransport) Epoch(shard int, body []byte) ([]byte, error) {
+	w := pt.workers[shard]
+	resp, err := pt.client.Post(w.addr+"/shard/epoch", "application/x-ndjson", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("shard: worker %d returned %s", shard, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func (pt *procTransport) Restart(shard int) error {
+	pt.workers[shard].kill()
+	w, err := spawnWorker(shard, pt.shards)
+	if err != nil {
+		return err
+	}
+	pt.workers[shard] = w
+	return nil
+}
+
+func (pt *procTransport) Close() error {
+	for _, w := range pt.workers {
+		if w != nil {
+			w.kill()
+		}
+	}
+	return nil
+}

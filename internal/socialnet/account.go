@@ -175,6 +175,11 @@ func perDay(count int, ageDays float64) float64 {
 // by the engine, or the zero time if it has not posted.
 func (a *Account) LastPostAt() time.Time { return a.lastPostAt }
 
+// SetLastPostAt overrides the last-post timestamp. It exists for decoders
+// that rebuild profile snapshots from the wire (proc-mode shard workers);
+// the engine maintains the field itself during simulation.
+func (a *Account) SetLastPostAt(t time.Time) { a.lastPostAt = t }
+
 // Active reports the paper's §III-D activity status: the account posted
 // within the window and received mentions recently.
 func (a *Account) Active(now time.Time, window time.Duration) bool {

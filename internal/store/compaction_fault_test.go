@@ -1,0 +1,174 @@
+package store_test
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/store"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/store/fstest"
+)
+
+// Compaction fault injection: WriteCheckpoint's prune pass retires old
+// checkpoint files and WAL segments covered by the older retained
+// checkpoint. A crash in the middle of that pass leaves an arbitrary
+// subset of the garbage behind; recovery must be bit-identical to the
+// crash-free run's regardless, and the next checkpoint must finish the
+// interrupted compaction.
+
+// runCompactionWorkload drives a fresh store through three checkpoint
+// cycles — the third's prune pass retires both a checkpoint file and a
+// covered WAL segment — plus a synced post-checkpoint tail, then crashes.
+// beforeFinalCheckpoint lets the caller script the backend so the fault
+// lands inside that final prune pass.
+func runCompactionWorkload(t *testing.T, b *fstest.Backend, beforeFinalCheckpoint func()) {
+	t.Helper()
+	s, _ := openTest(t, b, 1)
+	for cycle := 0; cycle < 3; cycle++ {
+		appendN(t, s, cycle*3, 3)
+		if cycle == 2 && beforeFinalCheckpoint != nil {
+			beforeFinalCheckpoint()
+		}
+		if err := s.WriteCheckpoint(compactionCheckpoint(cycle)); err != nil {
+			t.Fatalf("checkpoint %d: %v", cycle, err)
+		}
+	}
+	appendN(t, s, 9, 2)
+	// The process dies here: the store object is abandoned un-Closed, and
+	// the crash drops anything unsynced (nothing, at SyncEvery=1) and
+	// releases the lock the way a dead process's stale lock is broken.
+	b.Crash(0)
+}
+
+// compactionCheckpoint builds a distinguishable checkpoint payload so the
+// recovery comparison covers component content, not just sequence.
+func compactionCheckpoint(cycle int) *store.Checkpoint {
+	return &store.Checkpoint{
+		TweetWatermark: int64(1000 + cycle),
+		Components: map[string][]byte{
+			"ring": []byte(fmt.Sprintf("ring-state-%d", cycle)),
+		},
+	}
+}
+
+// healAndClose runs one more append+checkpoint cycle on a recovered store
+// — the pass that must finish any interrupted compaction — and closes it.
+func healAndClose(t *testing.T, s *store.Store) {
+	t.Helper()
+	appendN(t, s, 11, 2)
+	if err := s.WriteCheckpoint(compactionCheckpoint(3)); err != nil {
+		t.Fatalf("post-recovery checkpoint: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// snapshotFiles reads every file the backend holds, byte for byte.
+func snapshotFiles(t *testing.T, b *fstest.Backend) map[string][]byte {
+	t.Helper()
+	names, err := b.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make(map[string][]byte, len(names))
+	for _, n := range names {
+		f, err := b.Open(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(f)
+		_ = f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[n] = data
+	}
+	return files
+}
+
+// testCompactionCrash is the shared scenario: a reference run crashes
+// after a clean compaction, the faulty run crashes with removals of the
+// final prune pass scripted to fail. Both must recover identical state,
+// and after one more checkpoint the faulty disk must converge to the
+// reference disk, file for file, byte for byte.
+func testCompactionCrash(t *testing.T, failedRemoves []int) {
+	ref := fstest.New()
+	runCompactionWorkload(t, ref, nil)
+	refStore, refRec := openTest(t, ref, 1)
+
+	faulty := fstest.New()
+	runCompactionWorkload(t, faulty, func() {
+		for _, n := range failedRemoves {
+			faulty.FailAfter(fstest.OpRemove, n)
+		}
+	})
+	faultyStore, faultyRec := openTest(t, faulty, 1)
+
+	if faultyRec.Checkpoint == nil || refRec.Checkpoint == nil {
+		t.Fatalf("missing checkpoint: faulty %v, ref %v", faultyRec.Checkpoint, refRec.Checkpoint)
+	}
+	if !reflect.DeepEqual(faultyRec, refRec) {
+		t.Fatalf("recovery diverged:\n faulty %+v\n    ref %+v", faultyRec, refRec)
+	}
+
+	healAndClose(t, refStore)
+	healAndClose(t, faultyStore)
+	refFiles, faultyFiles := snapshotFiles(t, ref), snapshotFiles(t, faulty)
+	if !reflect.DeepEqual(faultyFiles, refFiles) {
+		t.Fatalf("disks did not converge after recompaction:\n faulty %v\n    ref %v",
+			fileNames(faultyFiles), fileNames(refFiles))
+	}
+}
+
+func fileNames(files map[string][]byte) []string {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, fmt.Sprintf("%s(%d)", n, len(files[n])))
+	}
+	return names
+}
+
+// TestCompactionCrashBeforeRemoves kills the process after the checkpoint
+// publishes but before compaction removes anything: every retired file
+// lingers and must be ignored by recovery, then collected next cycle.
+func TestCompactionCrashBeforeRemoves(t *testing.T) {
+	testCompactionCrash(t, []int{1, 2})
+}
+
+// TestCompactionCrashMidRemoves kills the process halfway through the
+// prune pass: the old checkpoint file is gone but the WAL segment it
+// covered survives — the torn intermediate state a real mid-compaction
+// crash leaves.
+func TestCompactionCrashMidRemoves(t *testing.T) {
+	testCompactionCrash(t, []int{2})
+}
+
+// TestCompactionPrunesExactly pins which files the third checkpoint's
+// compaction retires: the oldest checkpoint and every WAL segment fully
+// covered by the older retained checkpoint — and nothing else, so a
+// corrupt newest checkpoint can still fall back and replay.
+func TestCompactionPrunesExactly(t *testing.T) {
+	b := fstest.New()
+	runCompactionWorkload(t, b, nil)
+	names, err := b.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycles end at seqs 3, 6, 9; segments are named for their first
+	// record. Retained: checkpoints 6 and 9, the segment holding records
+	// 7-9, and the post-checkpoint tail segment.
+	want := []string{
+		"ckpt-0000000000000006.ckpt",
+		"ckpt-0000000000000009.ckpt",
+		"wal-0000000000000007.log",
+		"wal-0000000000000010.log",
+	}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("after compaction disk holds %v, want %v", names, want)
+	}
+	if got := b.Ops(fstest.OpRemove); got != 3 {
+		t.Fatalf("compaction ran %d removes across 3 checkpoints, want 3", got)
+	}
+}

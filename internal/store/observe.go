@@ -18,6 +18,7 @@ type observer struct {
 	checkpointFallbacks *metrics.Counter
 	recoveryRecords     *metrics.Counter
 	tornTails           *metrics.Counter
+	prunedFiles         *metrics.Counter
 	checkpointSeconds   *metrics.Histogram
 	recoverySeconds     *metrics.Histogram
 	tracer              *trace.Tracer
@@ -48,6 +49,8 @@ func newObserver(reg *metrics.Registry, tracer *trace.Tracer) *observer {
 			"WAL records replayed past the checkpoint at recovery."),
 		tornTails: reg.Counter("ph_store_torn_tails_total",
 			"WAL segments that ended in a torn write."),
+		prunedFiles: reg.Counter("ph_store_pruned_files_total",
+			"Checkpoint and WAL segment files retired by compaction."),
 		checkpointSeconds: reg.Histogram("ph_store_checkpoint_seconds",
 			"Checkpoint publish latency.", nil),
 		recoverySeconds: reg.Histogram("ph_store_recovery_seconds",

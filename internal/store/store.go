@@ -393,7 +393,9 @@ func (s *Store) pruneLocked(newSeq uint64) {
 		keepFrom = len(ckptSeqs) - 2
 	}
 	for _, seq := range ckptSeqs[:keepFrom] {
-		_ = s.b.Remove(checkpointName(seq))
+		if s.b.Remove(checkpointName(seq)) == nil {
+			s.obs.prunedFiles.Inc()
+		}
 	}
 	// The recovery floor is the oldest checkpoint still on disk: every
 	// record past it must stay replayable.
@@ -404,7 +406,9 @@ func (s *Store) pruneLocked(newSeq uint64) {
 	segSeqs := listSeqs(names, segmentPrefix, segmentSuffix)
 	for i, first := range segSeqs {
 		if i+1 < len(segSeqs) && segSeqs[i+1] <= floor+1 {
-			_ = s.b.Remove(segmentName(first))
+			if s.b.Remove(segmentName(first)) == nil {
+				s.obs.prunedFiles.Inc()
+			}
 		}
 	}
 }

@@ -2,9 +2,11 @@ package twitterapi
 
 import (
 	"context"
+	"strconv"
 	"strings"
 	"time"
 
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/imagehash"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
 )
 
@@ -186,6 +188,18 @@ func DecodeUser(u *User) *socialnet.Account {
 		Suspended:           u.Suspended,
 		Kind:                socialnet.KindNormal, // wire carries no ground truth
 		CampaignID:          socialnet.NoCampaign,
+	}
+	if len(u.ProfileImageHash) == 32 {
+		if hi, err := strconv.ParseUint(u.ProfileImageHash[:16], 16, 64); err == nil {
+			if lo, err := strconv.ParseUint(u.ProfileImageHash[16:], 16, 64); err == nil {
+				a.ProfileImageHash = imagehash.Hash{Hi: hi, Lo: lo}
+			}
+		}
+	}
+	if u.LastPostAt != "" {
+		if lastPost, err := time.Parse(time.RFC3339, u.LastPostAt); err == nil {
+			a.SetLastPostAt(lastPost)
+		}
 	}
 	return a
 }
