@@ -16,15 +16,17 @@ RACE_PKGS := ./internal/parallel/ \
 	./internal/twitterapi/ \
 	./internal/store/ \
 	./internal/shard/ \
+	./internal/obs/ \
 	.
 
 METRICS_COVER_MIN := 90
 TRACE_COVER_MIN := 90
 STORE_COVER_MIN := 90
+OBS_COVER_MIN := 90
 
-.PHONY: check vet vulncheck build test race bench bench-e2e bench-e2e-check bench-store bench-store-check bench-shard bench-shard-check cover-metrics cover-trace cover-store
+.PHONY: check vet vulncheck build test race bench bench-e2e bench-e2e-check bench-store bench-store-check bench-shard bench-shard-check cover-metrics cover-trace cover-store cover-obs
 
-check: vet vulncheck build test race cover-metrics cover-trace cover-store
+check: vet vulncheck build test race cover-metrics cover-trace cover-store cover-obs
 
 vet:
 	$(GO) vet ./...
@@ -70,6 +72,18 @@ cover-trace:
 		else printf "internal/trace coverage %s%% (gate %d%%)\n", $$3, min }'
 	@rm -f .trace.cover
 
+# cover-obs gates internal/obs at >= $(OBS_COVER_MIN)% statement
+# coverage: the federation merge and the watchdog are what operators see
+# of a sharded fleet — an untested branch there is a blind spot in the
+# one deployment mode that matters at scale.
+cover-obs:
+	@$(GO) test -coverprofile=.obs.cover ./internal/obs/ > /dev/null
+	@$(GO) tool cover -func=.obs.cover | awk -v min=$(OBS_COVER_MIN) \
+		'/^total:/ { gsub(/%/, "", $$3); \
+		if ($$3 + 0 < min) { printf "FAIL: internal/obs coverage %s%% < %d%% gate\n", $$3, min; exit 1 } \
+		else printf "internal/obs coverage %s%% (gate %d%%)\n", $$3, min }'
+	@rm -f .obs.cover
+
 # bench runs the ML training and parallel-layer benchmarks, then
 # regenerates the committed BENCH_ml.json baseline via cmd/benchreport.
 # speedup-vs-reference compares the presorted-column split engine against
@@ -80,6 +94,7 @@ bench:
 	$(GO) test -run NONE -bench 'TreeFit|ForestFit|BoostFit|CrossValidate|DetectorClassify' \
 		./internal/ml/tree/ ./internal/ml/forest/ ./internal/ml/boost/ \
 		./internal/ml/ ./internal/core/
+	$(GO) test -run NONE -bench 'ObsDisabled' ./internal/obs/
 	$(GO) run ./cmd/benchreport -mlbench BENCH_ml.json
 	$(GO) run ./cmd/benchreport -e2ebench BENCH_e2e.json
 	$(GO) run ./cmd/benchreport -storebench BENCH_store.json

@@ -528,8 +528,10 @@ func (s *Sniffer) attachProc() error {
 	online := cfg.Online
 	world := s.sim.world
 	pc, err := shard.NewProcCoordinator(shard.ProcConfig{
-		Shards: cfg.Shards,
-		Lookup: world.Account,
+		Shards:  cfg.Shards,
+		Lookup:  world.Account,
+		Metrics: cfg.Metrics,
+		Tracer:  cfg.Tracer,
 		Apply: func(batch []shard.Merged) error {
 			tweets := make([]*socialnet.Tweet, len(batch))
 			authors := make([]*socialnet.Account, len(batch))
@@ -633,6 +635,28 @@ func (s *Sniffer) Close() {
 
 // Monitor exposes the underlying monitor (groups, captures, PGE inputs).
 func (s *Sniffer) Monitor() *Monitor { return s.monitor }
+
+// ShardAdminURLs returns the admin base URLs of the proc-mode shard
+// workers (each serves /metrics, /healthz, and /debug/traces on its
+// loopback epoch-wire listener), indexed by shard. Nil outside proc mode.
+// A respawned worker changes its entry, so callers should re-read rather
+// than cache — the fleet federator's Targets hook does exactly that.
+func (s *Sniffer) ShardAdminURLs() []string {
+	if s.proc == nil {
+		return nil
+	}
+	return s.proc.AdminURLs()
+}
+
+// HealthExtra returns the /healthz hook reporting the durable store's WAL
+// status (last checkpoint seq, segment count, last fsync error), or nil
+// when the sniffer runs without -store-dir.
+func (s *Sniffer) HealthExtra() func(*metrics.Health) {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.HealthExtra()
+}
 
 // DetectionResult is the outcome of DetectAll.
 type DetectionResult struct {

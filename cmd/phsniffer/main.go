@@ -13,6 +13,7 @@
 //	          [-capture-cap 0]
 //	          [-store-dir DIR] [-sync-every 1] [-checkpoint-every 1]
 //	          [-metrics-addr :9331] [-export run.json]
+//	          [-obs-scrape-interval 2s]
 //	          [-trace-buffer 256] [-slow-span 250ms] [-log-level info]
 //	          [-pprof]
 //
@@ -58,11 +59,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	pseudohoneypot "github.com/pseudo-honeypot/pseudohoneypot"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/core"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/obs"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/remote"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/report"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/shard"
@@ -109,6 +113,7 @@ func run() error {
 		slowSpan    = flag.Duration("slow-span", 250*time.Millisecond, "log a warn event for spans at least this long (0 disables)")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof on the metrics address")
+		obsScrape   = flag.Duration("obs-scrape-interval", 2*time.Second, "fleet federation: how often the coordinator scrapes proc-mode shard workers' /metrics (0 disables)")
 	)
 	flag.Parse()
 
@@ -126,8 +131,25 @@ func run() error {
 		Observer: metrics.Default().SpanObserver(),
 	})
 
+	// The federator fronts /metrics and /healthz: standalone it passes the
+	// local registry through untouched; in -shard-mode proc it scrapes the
+	// shard workers' loopback admin servers and serves the fleet rollup
+	// (DESIGN.md §16). The WAL health extra is bound late — the store only
+	// exists once the sniffer is built — through an atomic pointer so the
+	// handler can already be serving.
+	fed := obs.NewFederator(obs.FederatorConfig{
+		Local:    metrics.Default(),
+		Interval: *obsScrape,
+		Logger:   logger,
+	})
+	var walExtra atomic.Pointer[func(*metrics.Health)]
+	healthExtra := func(h *metrics.Health) {
+		if f := walExtra.Load(); f != nil {
+			(*f)(h)
+		}
+	}
 	if *metricsOn != "" {
-		go serveMetrics(*metricsOn, tracer, *pprofOn)
+		go serveMetrics(*metricsOn, tracer, *pprofOn, fed, healthExtra)
 	}
 
 	if *server != "" {
@@ -170,6 +192,32 @@ func run() error {
 		return err
 	}
 	defer sniffer.Close()
+	if f := sniffer.HealthExtra(); f != nil {
+		walExtra.Store(&f)
+	}
+	collector := obs.NewCollector(metrics.Default())
+	stopCollector := collector.Start(0)
+	defer stopCollector()
+	watchdog := obs.NewWatchdog(obs.WatchdogConfig{
+		Metrics: metrics.Default(),
+		Logger:  logger,
+	})
+	stopWatchdog := watchdog.Start()
+	defer stopWatchdog()
+	federated := false
+	if urls := sniffer.ShardAdminURLs(); len(urls) > 0 && *obsScrape > 0 {
+		federated = true
+		fed.SetTargets(func() []obs.Target {
+			urls := sniffer.ShardAdminURLs()
+			ts := make([]obs.Target, len(urls))
+			for i, u := range urls {
+				ts[i] = obs.Target{Name: strconv.Itoa(i + 1), URL: u}
+			}
+			return ts
+		})
+		stopScrape := fed.Start()
+		defer stopScrape()
+	}
 	if rec := sniffer.Recovery(); rec != nil {
 		logger.Info("durable store recovered",
 			"dir", *storeDir, "checkpoint", rec.Checkpoint != nil,
@@ -213,16 +261,22 @@ func run() error {
 		tbl.AddRow(i+1, row.Selector.String(), row.Spammers, row.NodeHours, row.PGE)
 	}
 	fmt.Print(tbl.Render())
-	return writeExport(*export, []*report.Table{tbl})
+	var fleet []metrics.FamilySnapshot
+	if federated && *export != "" {
+		fed.ScrapeOnce(context.Background()) // final sweep: workers idle, counters settled
+		fleet = fed.Rollup()
+	}
+	return writeExport(*export, []*report.Table{tbl}, fleet)
 }
 
-// serveMetrics exposes the process-default registry — which every pipeline
-// component reports into — plus the trace ring and (opt-in) pprof over
-// HTTP for the duration of the run.
-func serveMetrics(addr string, tracer *trace.Tracer, pprofOn bool) {
+// serveMetrics exposes the process metrics — fronted by the fleet
+// federator, which passes the local registry through until proc-mode
+// shard targets are installed — plus the trace ring and (opt-in) pprof
+// over HTTP for the duration of the run.
+func serveMetrics(addr string, tracer *trace.Tracer, pprofOn bool, fed *obs.Federator, health func(*metrics.Health)) {
 	mux := http.NewServeMux()
-	mux.Handle("GET /metrics", metrics.Default().Handler())
-	mux.Handle("GET /healthz", metrics.HealthHandler())
+	mux.Handle("GET /metrics", fed.Handler())
+	mux.Handle("GET /healthz", fed.HealthHandler(health))
 	mux.Handle("GET /debug/traces", tracer.Handler())
 	mux.Handle("GET /debug/traces/{id}", tracer.Handler())
 	if pprofOn {
@@ -239,9 +293,10 @@ func serveMetrics(addr string, tracer *trace.Tracer, pprofOn bool) {
 }
 
 // writeExport archives the result tables with a final snapshot of the
-// process-default registry and the tracer's stage-latency summary. An
-// empty path is a no-op.
-func writeExport(path string, tables []*report.Table) error {
+// process-default registry, the tracer's stage-latency summary, and — for
+// federated proc runs — the fleet-level metrics rollup. An empty path is
+// a no-op.
+func writeExport(path string, tables []*report.Table, fleet []metrics.FamilySnapshot) error {
 	if path == "" {
 		return nil
 	}
@@ -249,7 +304,8 @@ func writeExport(path string, tables []*report.Table) error {
 	if err != nil {
 		return err
 	}
-	export := report.NewExport(tables, metrics.Default()).WithTraces(trace.Default())
+	export := report.NewExport(tables, metrics.Default()).
+		WithTraces(trace.Default()).WithFleet(fleet)
 	if err := export.WriteJSON(f); err != nil {
 		_ = f.Close()
 		return err
@@ -292,5 +348,5 @@ func runRemote(server string, hours, perValue int, seed int64, export string) er
 		}
 	}
 	fmt.Print(tbl.Render())
-	return writeExport(export, []*report.Table{tbl})
+	return writeExport(export, []*report.Table{tbl}, nil)
 }

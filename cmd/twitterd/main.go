@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/obs"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/shard"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/store"
@@ -99,6 +100,12 @@ func run() error {
 	}
 	engine := socialnet.NewEngine(world)
 
+	// Runtime telemetry (ph_runtime_* heap/GC/goroutine gauges) samples
+	// into the default registry for the daemon's lifetime.
+	collector := obs.NewCollector(metrics.Default())
+	stopCollector := collector.Start(0)
+	defer stopCollector()
+
 	opts := []twitterapi.ServerOption{twitterapi.WithSeed(*seed)}
 	if *storeDir != "" {
 		st, journal, err := openJournal(*storeDir, *seed, *accounts, *organic, engine)
@@ -106,7 +113,7 @@ func run() error {
 			return err
 		}
 		defer func() { _ = st.Close() }()
-		opts = append(opts, journal)
+		opts = append(opts, journal, twitterapi.WithHealth(st.HealthExtra()))
 	}
 	if *oracle {
 		opts = append(opts, twitterapi.WithOracle())

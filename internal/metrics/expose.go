@@ -23,8 +23,16 @@ const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
 // a # HELP and # TYPE header per family, then one line per sample, with
 // histograms expanded into cumulative _bucket/_sum/_count series.
 func (r *Registry) WriteText(w io.Writer) error {
+	return WriteTextSnapshots(w, r.Snapshot())
+}
+
+// WriteTextSnapshots renders an already-taken family snapshot in the text
+// exposition format. It is the serializer behind both a live registry's
+// /metrics (WriteText) and the federated fleet rollup, whose merged view
+// exists only as snapshots — never as a registry.
+func WriteTextSnapshots(w io.Writer, fams []FamilySnapshot) error {
 	bw := bufio.NewWriter(w)
-	for _, fam := range r.Snapshot() {
+	for _, fam := range fams {
 		if fam.Help != "" {
 			bw.WriteString("# HELP ")
 			bw.WriteString(fam.Name)
@@ -133,11 +141,12 @@ var lastStreamRead atomic.Int64
 // /healthz as last_stream_read_age_seconds.
 func MarkStreamRead(t time.Time) { lastStreamRead.Store(t.UnixNano()) }
 
-// Health is the /healthz response body. Status is always "ok" with a 200
-// response — the endpoint is a liveness probe; the extra fields carry
-// context, not health state.
+// Health is the /healthz response body. Status is "ok" with a 200
+// response in the base liveness probe — the extra fields carry context;
+// wrappers (the fleet federator's aggregated handler, the WAL section)
+// may downgrade Status to "degraded".
 type Health struct {
-	Status        string `json:"status"`
+	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// GoVersion is the toolchain that built the binary.
 	GoVersion string `json:"go_version"`
@@ -147,6 +156,45 @@ type Health struct {
 	// LastStreamReadAgeSeconds is the age of the most recent healthy
 	// stream read; nil when the process never consumed a stream.
 	LastStreamReadAgeSeconds *float64 `json:"last_stream_read_age_seconds,omitempty"`
+	// WAL is the durable-store section, present when the process runs
+	// with a WAL + checkpoint store (-store-dir).
+	WAL *WALHealth `json:"wal,omitempty"`
+}
+
+// WALHealth is the durable-store section of a /healthz response. The
+// daemons fill it from store.Status so an operator probing a durable
+// process sees whether its disk state is advancing, not just that the
+// process is alive.
+type WALHealth struct {
+	// LastSeq is the last assigned WAL record sequence.
+	LastSeq uint64 `json:"last_seq"`
+	// LastCheckpointSeq is the sequence the newest checkpoint covers
+	// (0 = no checkpoint yet).
+	LastCheckpointSeq uint64 `json:"last_checkpoint_seq"`
+	// Segments is the number of WAL segment files on disk.
+	Segments int `json:"segments"`
+	// LastSyncError is the most recent fsync failure ("" = the last sync
+	// succeeded). A non-empty value downgrades Status to "degraded":
+	// appends are no longer reliably durable.
+	LastSyncError string `json:"last_sync_error,omitempty"`
+}
+
+// CurrentHealth builds the base liveness body: status "ok", uptime, build
+// identity, and stream staleness. Exported so wrappers composing richer
+// health views (fleet aggregation in internal/obs) start from the same
+// base the plain handler serves.
+func CurrentHealth() Health {
+	h := Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(processStart).Seconds(),
+		GoVersion:     runtime.Version(),
+		Build:         buildString(),
+	}
+	if ns := lastStreamRead.Load(); ns != 0 {
+		age := time.Since(time.Unix(0, ns)).Seconds()
+		h.LastStreamReadAgeSeconds = &age
+	}
+	return h
 }
 
 // buildString resolves the embedded main-module identity once.
@@ -161,16 +209,25 @@ var buildString = sync.OnceValue(func() string {
 // HealthHandler serves a liveness probe: always 200 with
 // {"status":"ok",...} plus uptime, build identity, and stream staleness.
 func HealthHandler() http.Handler {
+	return HealthHandlerFunc()
+}
+
+// HealthHandlerFunc serves the liveness probe with each extra applied to
+// the body before encoding — the hook the daemons use to attach the WAL
+// section without this package importing the store. An extra that sets a
+// non-empty WAL.LastSyncError downgrades Status to "degraded"; the
+// response stays 200 (liveness, not readiness — the fleet federator's
+// aggregated handler is the one that returns 503).
+func HealthHandlerFunc(extras ...func(*Health)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		h := Health{
-			Status:        "ok",
-			UptimeSeconds: time.Since(processStart).Seconds(),
-			GoVersion:     runtime.Version(),
-			Build:         buildString(),
+		h := CurrentHealth()
+		for _, extra := range extras {
+			if extra != nil {
+				extra(&h)
+			}
 		}
-		if ns := lastStreamRead.Load(); ns != 0 {
-			age := time.Since(time.Unix(0, ns)).Seconds()
-			h.LastStreamReadAgeSeconds = &age
+		if h.WAL != nil && h.WAL.LastSyncError != "" {
+			h.Status = "degraded"
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(h)

@@ -1,0 +1,332 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Fleet federation merge: fold the exposition payloads scraped from N
+// processes (the proc-mode shard workers plus the coordinator's own
+// registry) into one global snapshot. The semantics mirror what a
+// Prometheus federation endpoint would serve:
+//
+//   - counters and histograms are summed across instances per label set —
+//     fleet totals, so summed pipeline counters equal an unsharded run's;
+//   - gauges (and untyped/summary series) are point-in-time state of one
+//     process, so they stay per-instance: each sample is stamped with a
+//     MergeLabel ("shard") carrying the instance name unless the series
+//     already has one (worker pipelines label their own shard);
+//   - output ordering is fully deterministic — families by name, samples
+//     by sorted label set, buckets by bound — so re-exposing a merged view
+//     is a fixpoint: scrape → merge → WriteTextSnapshots → parse → merge
+//     reproduces the identical snapshot.
+//
+// The merge is total: any payload ParseExposition accepted merges without
+// error, deterministically, even adversarial shapes fuzzing finds (type
+// conflicts across instances, histograms with alien bucket layouts,
+// scalar samples on histogram families). Lossy normalizations (dropping a
+// bare value on a histogram family, clamping fractional counts) are
+// one-way but idempotent.
+
+// MergeLabel is the label name stamped onto per-instance series so two
+// workers' gauges never collide in the merged view.
+const MergeLabel = "shard"
+
+// Instance is one scraped exposition payload attributed to a fleet member.
+type Instance struct {
+	// Name is the member's identity — the shard id ("1".."N") for workers,
+	// "coord" for the coordinator — stamped as the MergeLabel value on its
+	// per-instance series.
+	Name string
+	// Exposition is the parsed payload (ParseExposition). Nil is allowed
+	// and contributes nothing.
+	Exposition *Exposition
+}
+
+// mergedSample accumulates one label set of one family across instances.
+type mergedSample struct {
+	labels []Label
+	value  float64
+	// Histogram parts, keyed by the canonical rendering of the bucket
+	// bound so exotic bounds (NaN) still merge to one key.
+	buckets map[string]*mergedBucket
+	count   uint64
+	sum     float64
+}
+
+type mergedBucket struct {
+	bound float64
+	count uint64
+}
+
+// mergedFamily accumulates one family across instances. The first
+// instance to introduce a name fixes its type; later conflicting
+// declarations coerce into it (deterministic in instance order).
+type mergedFamily struct {
+	name    string
+	typ     Type
+	samples map[string]*mergedSample
+}
+
+// MergeInstances folds the instances' payloads into one deterministic
+// fleet-level snapshot. See the package comment above for the semantics.
+func MergeInstances(instances []Instance) []FamilySnapshot {
+	fams := make(map[string]*mergedFamily)
+	for _, inst := range instances {
+		if inst.Exposition == nil {
+			continue
+		}
+		for _, s := range inst.Exposition.Samples {
+			mergeSample(fams, inst, s)
+		}
+	}
+	return finishMerge(fams)
+}
+
+// snapshotType maps a declared exposition type onto the snapshot enum.
+// Summary and untyped series carry point-in-time meaning we cannot sum,
+// so they take the gauge path (per-instance) under the untyped rendering.
+func snapshotType(typ string) Type {
+	switch typ {
+	case "counter":
+		return TypeCounter
+	case "gauge":
+		return TypeGauge
+	case "histogram":
+		return TypeHistogram
+	default:
+		return Type(0) // renders as "untyped"
+	}
+}
+
+// mergeSample routes one parsed sample into the family map. A sample
+// belongs either to a directly TYPE-declared family or — ParseExposition
+// guarantees no third case — to a histogram family through a
+// _bucket/_sum/_count suffix.
+func mergeSample(fams map[string]*mergedFamily, inst Instance, s ParsedSample) {
+	if typ, ok := inst.Exposition.Types[s.Name]; ok {
+		fam := familyFor(fams, s.Name, snapshotType(typ))
+		switch fam.typ {
+		case TypeCounter:
+			ms := fam.sample(s.Labels, nil)
+			ms.value += s.Value
+		case TypeHistogram:
+			// A bare sample on a histogram-typed family has no slot in the
+			// snapshot shape; materialize the label set with empty parts so
+			// the series stays visible (as zero _sum/_count) and the merge
+			// stays idempotent.
+			fam.sample(s.Labels, nil)
+		default:
+			// Gauge / untyped / summary: per-instance state.
+			ms := fam.sample(s.Labels, &inst)
+			ms.value = s.Value
+		}
+		return
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(s.Name, suffix)
+		if base == s.Name || inst.Exposition.Types[base] != "histogram" {
+			continue
+		}
+		fam := familyFor(fams, base, TypeHistogram)
+		if fam.typ != TypeHistogram {
+			// Another instance already claimed the base name as a scalar
+			// family; the part has nowhere coherent to go. Drop it — the
+			// conflict is adversarial, and determinism beats completeness.
+			return
+		}
+		switch suffix {
+		case "_bucket":
+			labels, le := splitLe(s.Labels)
+			ms := fam.sample(labels, nil)
+			bound, err := parseValue(le)
+			if err != nil {
+				return // unparseable bound: drop the bucket line
+			}
+			key := formatValue(bound)
+			b := ms.buckets[key]
+			if b == nil {
+				b = &mergedBucket{bound: bound}
+				ms.buckets[key] = b
+			}
+			b.count += toCount(s.Value)
+		case "_sum":
+			ms := fam.sample(s.Labels, nil)
+			ms.sum += s.Value
+		case "_count":
+			ms := fam.sample(s.Labels, nil)
+			ms.count += toCount(s.Value)
+		}
+		return
+	}
+}
+
+func familyFor(fams map[string]*mergedFamily, name string, typ Type) *mergedFamily {
+	fam := fams[name]
+	if fam == nil {
+		fam = &mergedFamily{name: name, typ: typ, samples: make(map[string]*mergedSample)}
+		fams[name] = fam
+	}
+	return fam
+}
+
+// sample resolves the accumulator for one label set, stamping the
+// MergeLabel from inst when given (per-instance series) and the label is
+// not already present.
+func (f *mergedFamily) sample(labels map[string]string, inst *Instance) *mergedSample {
+	ls := sortedLabels(labels)
+	if inst != nil {
+		if _, has := labels[MergeLabel]; !has {
+			ls = append(ls, Label{Name: MergeLabel, Value: inst.Name})
+			sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+		}
+	}
+	key := labelsKey(ls)
+	ms := f.samples[key]
+	if ms == nil {
+		ms = &mergedSample{labels: ls, buckets: make(map[string]*mergedBucket)}
+		f.samples[key] = ms
+	}
+	return ms
+}
+
+// finishMerge renders the accumulated families as a sorted snapshot,
+// resolving name collisions between a histogram family's expanded
+// _bucket/_sum/_count lines and independently declared families of those
+// literal names: the suffix-named families are dropped, so the rendered
+// text parses cleanly (no duplicate series) and re-merging classifies
+// every line the same way this merge did.
+func finishMerge(fams map[string]*mergedFamily) []FamilySnapshot {
+	for name, fam := range fams {
+		if fam.typ != TypeHistogram {
+			continue
+		}
+		delete(fams, name+"_bucket")
+		delete(fams, name+"_sum")
+		delete(fams, name+"_count")
+	}
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	out := make([]FamilySnapshot, 0, len(names))
+	for _, name := range names {
+		fam := fams[name]
+		snap := FamilySnapshot{Name: name, Type: fam.typ}
+		keys := make([]string, 0, len(fam.samples))
+		for k := range fam.samples {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ms := fam.samples[k]
+			s := Sample{Labels: ms.labels, Value: ms.value}
+			if fam.typ == TypeHistogram {
+				s.Value = 0
+				s.Buckets = sortedBuckets(ms.buckets)
+				s.Count = ms.count
+				s.Sum = ms.sum
+			}
+			snap.Samples = append(snap.Samples, s)
+		}
+		out = append(out, snap)
+	}
+	return out
+}
+
+// sortedLabels converts a parsed label map into the snapshot's ordered
+// form.
+func sortedLabels(labels map[string]string) []Label {
+	ls := make([]Label, 0, len(labels))
+	for n, v := range labels {
+		ls = append(ls, Label{Name: n, Value: v})
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	return ls
+}
+
+// splitLe strips the histogram bucket label from a bucket line's label
+// set, returning the remaining labels and the bound's string form.
+func splitLe(labels map[string]string) (map[string]string, string) {
+	le := labels["le"]
+	rest := make(map[string]string, len(labels)-1)
+	for n, v := range labels {
+		if n != "le" {
+			rest[n] = v
+		}
+	}
+	return rest, le
+}
+
+// labelsKey is the canonical identity of an ordered label set.
+func labelsKey(ls []Label) string {
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// sortedBuckets orders merged buckets by bound, with a total order over
+// exotic floats: NaN sorts first, then -Inf through +Inf.
+func sortedBuckets(buckets map[string]*mergedBucket) []Bucket {
+	bs := make([]Bucket, 0, len(buckets))
+	for _, b := range buckets {
+		bs = append(bs, Bucket{UpperBound: b.bound, Count: b.count})
+	}
+	sort.Slice(bs, func(i, j int) bool {
+		a, b := bs[i].UpperBound, bs[j].UpperBound
+		if math.IsNaN(a) {
+			return !math.IsNaN(b)
+		}
+		if math.IsNaN(b) {
+			return false
+		}
+		return a < b
+	})
+	return bs
+}
+
+// toCount converts a parsed float count into the snapshot's integer form:
+// negative, NaN, and fractional inputs clamp toward zero; values past the
+// integer range clamp to MaxInt64. Both clamps are idempotent under
+// re-rendering, which is all the fixpoint needs.
+func toCount(v float64) uint64 {
+	if !(v > 0) { // NaN and negatives land here
+		return 0
+	}
+	if v >= float64(math.MaxInt64) {
+		return uint64(math.MaxInt64)
+	}
+	return uint64(v)
+}
+
+// MergeText is the convenience composition used by tests and tooling:
+// parse each payload, merge, and render the rollup. Instance names are
+// 1-based shard ids unless names supplies them.
+func MergeText(payloads []string, names []string) (string, error) {
+	instances := make([]Instance, 0, len(payloads))
+	for i, p := range payloads {
+		exp, err := ParseExposition(strings.NewReader(p))
+		if err != nil {
+			return "", err
+		}
+		name := strconv.Itoa(i + 1)
+		if i < len(names) && names[i] != "" {
+			name = names[i]
+		}
+		instances = append(instances, Instance{Name: name, Exposition: exp})
+	}
+	var b strings.Builder
+	if err := WriteTextSnapshots(&b, MergeInstances(instances)); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,240 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// mustParse parses an exposition payload or fails the test.
+func mustParse(t *testing.T, payload string) *Exposition {
+	t.Helper()
+	exp, err := ParseExposition(strings.NewReader(payload))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\npayload:\n%s", err, payload)
+	}
+	return exp
+}
+
+// renderSnapshots renders merged families back to exposition text.
+func renderSnapshots(t *testing.T, fams []FamilySnapshot) string {
+	t.Helper()
+	var b strings.Builder
+	if err := WriteTextSnapshots(&b, fams); err != nil {
+		t.Fatalf("WriteTextSnapshots: %v", err)
+	}
+	return b.String()
+}
+
+func TestMergeCountersSummed(t *testing.T) {
+	w1 := "# TYPE ph_items_total counter\nph_items_total{stage=\"match\"} 3\nph_items_total{stage=\"label\"} 1\n"
+	w2 := "# TYPE ph_items_total counter\nph_items_total{stage=\"match\"} 4\n"
+	fams := MergeInstances([]Instance{
+		{Name: "1", Exposition: mustParse(t, w1)},
+		{Name: "2", Exposition: mustParse(t, w2)},
+	})
+	if len(fams) != 1 || fams[0].Name != "ph_items_total" || fams[0].Type != TypeCounter {
+		t.Fatalf("unexpected families: %+v", fams)
+	}
+	got := map[string]float64{}
+	for _, s := range fams[0].Samples {
+		if len(s.Labels) != 1 || s.Labels[0].Name != "stage" {
+			t.Fatalf("counter sample grew labels (no shard stamp expected): %+v", s)
+		}
+		got[s.Labels[0].Value] = s.Value
+	}
+	if got["match"] != 7 || got["label"] != 1 {
+		t.Fatalf("counter sums wrong: %v", got)
+	}
+}
+
+func TestMergeGaugesStampedPerShard(t *testing.T) {
+	w1 := "# TYPE ph_depth gauge\nph_depth{stage=\"match\"} 5\n"
+	w2 := "# TYPE ph_depth gauge\nph_depth{stage=\"match\"} 9\n"
+	// A gauge that already carries the merge label keeps it untouched.
+	w3 := "# TYPE ph_depth gauge\nph_depth{shard=\"7\",stage=\"match\"} 2\n"
+	fams := MergeInstances([]Instance{
+		{Name: "1", Exposition: mustParse(t, w1)},
+		{Name: "2", Exposition: mustParse(t, w2)},
+		{Name: "3", Exposition: mustParse(t, w3)},
+	})
+	if len(fams) != 1 || fams[0].Type != TypeGauge {
+		t.Fatalf("unexpected families: %+v", fams)
+	}
+	got := map[string]float64{}
+	for _, s := range fams[0].Samples {
+		var shard string
+		for _, l := range s.Labels {
+			if l.Name == MergeLabel {
+				shard = l.Value
+			}
+		}
+		if shard == "" {
+			t.Fatalf("gauge sample missing %s label: %+v", MergeLabel, s)
+		}
+		got[shard] = s.Value
+	}
+	want := map[string]float64{"1": 5, "2": 9, "7": 2}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("gauge per-shard values wrong: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestMergeHistogramsSummed(t *testing.T) {
+	w := "# TYPE ph_lat histogram\n" +
+		"ph_lat_bucket{le=\"0.1\"} 1\nph_lat_bucket{le=\"+Inf\"} 3\n" +
+		"ph_lat_sum 1.5\nph_lat_count 3\n"
+	fams := MergeInstances([]Instance{
+		{Name: "1", Exposition: mustParse(t, w)},
+		{Name: "2", Exposition: mustParse(t, w)},
+	})
+	if len(fams) != 1 || fams[0].Type != TypeHistogram {
+		t.Fatalf("unexpected families: %+v", fams)
+	}
+	s := fams[0].Samples[0]
+	if s.Count != 6 || s.Sum != 3.0 {
+		t.Fatalf("histogram count/sum wrong: count=%d sum=%v", s.Count, s.Sum)
+	}
+	if len(s.Buckets) != 2 || s.Buckets[0].Count != 2 || s.Buckets[1].Count != 6 {
+		t.Fatalf("histogram buckets wrong: %+v", s.Buckets)
+	}
+	if !math.IsInf(s.Buckets[1].UpperBound, 1) {
+		t.Fatalf("last bucket bound should be +Inf: %+v", s.Buckets[1])
+	}
+}
+
+func TestMergeBucketUnionAcrossLayouts(t *testing.T) {
+	w1 := "# TYPE h histogram\nh_bucket{le=\"0.5\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 0.6\nh_count 2\n"
+	w2 := "# TYPE h histogram\nh_bucket{le=\"0.25\"} 1\nh_bucket{le=\"+Inf\"} 4\nh_sum 3\nh_count 4\n"
+	fams := MergeInstances([]Instance{
+		{Name: "1", Exposition: mustParse(t, w1)},
+		{Name: "2", Exposition: mustParse(t, w2)},
+	})
+	s := fams[0].Samples[0]
+	if len(s.Buckets) != 3 {
+		t.Fatalf("expected union of bucket bounds, got %+v", s.Buckets)
+	}
+	if s.Buckets[0].UpperBound != 0.25 || s.Buckets[1].UpperBound != 0.5 {
+		t.Fatalf("buckets not sorted by bound: %+v", s.Buckets)
+	}
+	if s.Count != 6 || s.Sum != 3.6 {
+		t.Fatalf("count/sum wrong: %d %v", s.Count, s.Sum)
+	}
+}
+
+// TestParseRejectsDuplicateSeries pins the intra-payload rule the merge
+// relies on: one payload never carries two samples of the same series, so
+// cross-instance merging is the only summing path.
+func TestParseRejectsDuplicateSeries(t *testing.T) {
+	payload := "# TYPE a counter\na{x=\"1\"} 1\na{x=\"1\"} 2\n"
+	if _, err := ParseExposition(strings.NewReader(payload)); err == nil {
+		t.Fatal("duplicate series accepted")
+	}
+	// Same name with distinct labels is fine.
+	ok := "# TYPE a counter\na{x=\"1\"} 1\na{x=\"2\"} 2\n"
+	if _, err := ParseExposition(strings.NewReader(ok)); err != nil {
+		t.Fatalf("distinct-label series rejected: %v", err)
+	}
+}
+
+// TestMergeEscapedLabelFixpoint runs the full federation loop on label
+// values that need exposition escaping — quotes, backslashes, newlines —
+// and checks scrape → merge → re-expose → parse → merge is a fixed point.
+func TestMergeEscapedLabelFixpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeVec("ph_weird", "escaped labels", "sel").
+		With(`quote " slash \ newline` + "\n").Set(1.25)
+	reg.CounterVec("ph_weird_total", "escaped labels", "sel").
+		With(`a="b",c="d"`).Add(2)
+	var payload strings.Builder
+	if err := reg.WriteText(&payload); err != nil {
+		t.Fatal(err)
+	}
+
+	merged := MergeInstances([]Instance{
+		{Name: "1", Exposition: mustParse(t, payload.String())},
+		{Name: "2", Exposition: mustParse(t, payload.String())},
+	})
+	round1 := renderSnapshots(t, merged)
+
+	again := MergeInstances([]Instance{{Name: "coord", Exposition: mustParse(t, round1)}})
+	round2 := renderSnapshots(t, again)
+	if round1 != round2 {
+		t.Fatalf("merge is not a fixpoint:\n--- first\n%s\n--- second\n%s", round1, round2)
+	}
+	if !strings.Contains(round1, `shard="1"`) || !strings.Contains(round1, `shard="2"`) {
+		t.Fatalf("gauges not stamped per shard:\n%s", round1)
+	}
+}
+
+// TestMergeTypeConflictIsDeterministic: the first instance to declare a
+// name fixes the family type; later conflicting declarations coerce.
+func TestMergeTypeConflictIsDeterministic(t *testing.T) {
+	asCounter := "# TYPE a counter\na 1\n"
+	asGauge := "# TYPE a gauge\na 5\n"
+	fams := MergeInstances([]Instance{
+		{Name: "1", Exposition: mustParse(t, asCounter)},
+		{Name: "2", Exposition: mustParse(t, asGauge)},
+	})
+	if len(fams) != 1 || fams[0].Type != TypeCounter {
+		t.Fatalf("first declaration should win: %+v", fams)
+	}
+	// Reversed order: gauge wins, and the counter instance's value lands
+	// as per-instance state.
+	fams = MergeInstances([]Instance{
+		{Name: "1", Exposition: mustParse(t, asGauge)},
+		{Name: "2", Exposition: mustParse(t, asCounter)},
+	})
+	if len(fams) != 1 || fams[0].Type != TypeGauge {
+		t.Fatalf("first declaration should win: %+v", fams)
+	}
+}
+
+func TestMergeNilAndEmptyInstances(t *testing.T) {
+	fams := MergeInstances([]Instance{
+		{Name: "1", Exposition: nil},
+		{Name: "2", Exposition: mustParse(t, "")},
+	})
+	if len(fams) != 0 {
+		t.Fatalf("expected empty merge, got %+v", fams)
+	}
+	if got := MergeInstances(nil); len(got) != 0 {
+		t.Fatalf("nil instances should merge empty, got %+v", got)
+	}
+}
+
+func TestToCountClamps(t *testing.T) {
+	cases := map[float64]uint64{
+		-1:               0,
+		math.NaN():       0,
+		0:                0,
+		2.9:              2,
+		math.Inf(1):      uint64(math.MaxInt64),
+		1e300:            uint64(math.MaxInt64),
+		float64(1 << 40): 1 << 40,
+	}
+	for in, want := range cases {
+		if got := toCount(in); got != want {
+			t.Fatalf("toCount(%v) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestMergeText(t *testing.T) {
+	w := "# TYPE c counter\nc 1\n# TYPE g gauge\ng 2\n"
+	out, err := MergeText([]string{w, w}, []string{"", "worker-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "c 2") {
+		t.Fatalf("counter not summed:\n%s", out)
+	}
+	if !strings.Contains(out, `g{shard="1"} 2`) || !strings.Contains(out, `g{shard="worker-b"} 2`) {
+		t.Fatalf("gauges not stamped with instance names:\n%s", out)
+	}
+	if _, err := MergeText([]string{"not exposition ###"}, nil); err == nil {
+		t.Fatal("malformed payload accepted")
+	}
+}

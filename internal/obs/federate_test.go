@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
+)
+
+// testClock is a manually advanced time source.
+type testClock struct{ now atomic.Int64 }
+
+func newTestClock() *testClock {
+	c := &testClock{}
+	c.now.Store(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC).UnixNano())
+	return c
+}
+func (c *testClock) Now() time.Time          { return time.Unix(0, c.now.Load()) }
+func (c *testClock) Advance(d time.Duration) { c.now.Add(int64(d)) }
+
+// staticFetch serves canned payloads keyed by scrape URL.
+func staticFetch(payloads map[string]string) func(context.Context, string) ([]byte, error) {
+	return func(_ context.Context, url string) ([]byte, error) {
+		p, ok := payloads[url]
+		if !ok {
+			return nil, fmt.Errorf("no payload for %s", url)
+		}
+		return []byte(p), nil
+	}
+}
+
+func fixedTargets(ts ...Target) func() []Target {
+	return func() []Target { return ts }
+}
+
+func getBody(t *testing.T, h http.Handler) (int, string) {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/", nil))
+	return rr.Code, rr.Body.String()
+}
+
+func TestFederatorPassthroughUntilTargets(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("ph_local_total", "local").Add(3)
+	f := NewFederator(FederatorConfig{Local: reg})
+
+	code, body := getBody(t, f.Handler())
+	if code != http.StatusOK || !strings.Contains(body, "ph_local_total 3") {
+		t.Fatalf("passthrough /metrics wrong: %d\n%s", code, body)
+	}
+	if strings.Contains(body, "shard=") {
+		t.Fatalf("unfederated serving must not stamp shard labels:\n%s", body)
+	}
+	code, body = getBody(t, f.HealthHandler())
+	if code != http.StatusOK {
+		t.Fatalf("unfederated healthz should be 200, got %d: %s", code, body)
+	}
+}
+
+func TestFederatorScrapeAndRollup(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("ph_items_total", "x").Add(1)
+	reg.Gauge("ph_depth", "x").Set(10)
+
+	worker := "# TYPE ph_items_total counter\nph_items_total 5\n" +
+		"# TYPE ph_depth gauge\nph_depth 3\n"
+	clock := newTestClock()
+	f := NewFederator(FederatorConfig{
+		Local: reg,
+		Targets: fixedTargets(
+			Target{Name: "1", URL: "http://w1"},
+			Target{Name: "2", URL: "http://w2"},
+		),
+		Clock: clock.Now,
+		Fetch: staticFetch(map[string]string{
+			"http://w1/metrics": worker,
+			"http://w2/metrics": worker,
+		}),
+	})
+	if ok := f.ScrapeOnce(context.Background()); ok != 2 {
+		t.Fatalf("ScrapeOnce ok = %d, want 2", ok)
+	}
+
+	code, body := getBody(t, f.Handler())
+	if code != http.StatusOK {
+		t.Fatalf("rollup status %d", code)
+	}
+	// Counters: 1 (coord) + 5 + 5 summed into a fleet total.
+	if !strings.Contains(body, "ph_items_total 11") {
+		t.Fatalf("counters not summed:\n%s", body)
+	}
+	// Gauges: per-instance with the coordinator under its own label.
+	for _, want := range []string{
+		`ph_depth{shard="1"} 3`, `ph_depth{shard="2"} 3`, `ph_depth{shard="coord"} 10`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("missing %q in rollup:\n%s", want, body)
+		}
+	}
+
+	code, hbody := getBody(t, f.HealthHandler())
+	if code != http.StatusOK {
+		t.Fatalf("healthy fleet should be 200, got %d: %s", code, hbody)
+	}
+	var fh FleetHealth
+	if err := json.Unmarshal([]byte(hbody), &fh); err != nil {
+		t.Fatal(err)
+	}
+	if len(fh.Workers) != 2 || fh.Workers[0].Status != StatusOK || fh.Workers[1].Status != StatusOK {
+		t.Fatalf("worker health wrong: %+v", fh.Workers)
+	}
+	if fh.Workers[0].LastScrapeAgeSeconds == nil {
+		t.Fatal("scrape age missing on healthy worker")
+	}
+}
+
+func TestFederatorHealthLifecycle(t *testing.T) {
+	clock := newTestClock()
+	payloads := map[string]string{"http://w1/metrics": "# TYPE g gauge\ng 1\n"}
+	fetchErr := atomic.Bool{}
+	f := NewFederator(FederatorConfig{
+		Local:      metrics.NewRegistry(),
+		Targets:    fixedTargets(Target{Name: "1", URL: "http://w1"}),
+		Interval:   time.Second,
+		StaleAfter: 3 * time.Second,
+		Clock:      clock.Now,
+		Fetch: func(ctx context.Context, url string) ([]byte, error) {
+			if fetchErr.Load() {
+				return nil, errors.New("connection refused")
+			}
+			return staticFetch(payloads)(ctx, url)
+		},
+	})
+
+	// Known but never scraped: pending, unhealthy.
+	f.mu.Lock()
+	f.syncTargets()
+	f.mu.Unlock()
+	h, ok := f.health(nil)
+	if ok || h.Workers[0].Status != StatusPending {
+		t.Fatalf("want pending/unhealthy, got %+v ok=%v", h.Workers, ok)
+	}
+
+	// Successful scrape: ok.
+	f.ScrapeOnce(context.Background())
+	if h, ok = f.health(nil); !ok || h.Workers[0].Status != StatusOK {
+		t.Fatalf("want ok/healthy, got %+v ok=%v", h.Workers, ok)
+	}
+
+	// Scrapes failing: down, with the error surfaced.
+	fetchErr.Store(true)
+	f.ScrapeOnce(context.Background())
+	if h, ok = f.health(nil); ok || h.Workers[0].Status != StatusDown ||
+		!strings.Contains(h.Workers[0].Error, "connection refused") {
+		t.Fatalf("want down, got %+v ok=%v", h.Workers, ok)
+	}
+
+	// Recover, then let the payload age past StaleAfter without scraping.
+	fetchErr.Store(false)
+	f.ScrapeOnce(context.Background())
+	clock.Advance(10 * time.Second)
+	if h, ok = f.health(nil); ok || h.Workers[0].Status != StatusStale {
+		t.Fatalf("want stale, got %+v ok=%v", h.Workers, ok)
+	}
+
+	// URL change (worker respawned): restarting until the new URL answers,
+	// and the dead process's payload is dropped from the rollup.
+	f.SetTargets(fixedTargets(Target{Name: "1", URL: "http://w1-respawn"}))
+	f.mu.Lock()
+	f.syncTargets()
+	f.mu.Unlock()
+	if h, ok = f.health(nil); ok || h.Workers[0].Status != StatusRestarting {
+		t.Fatalf("want restarting, got %+v ok=%v", h.Workers, ok)
+	}
+	if body := renderRollup(t, f); strings.Contains(body, "g{") {
+		t.Fatalf("stale payload survived the respawn:\n%s", body)
+	}
+
+	// 503 with detail from the handler while unhealthy.
+	code, body := getBody(t, f.HealthHandler())
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, StatusRestarting) {
+		t.Fatalf("want 503 with restarting detail, got %d: %s", code, body)
+	}
+}
+
+func renderRollup(t *testing.T, f *Federator) string {
+	t.Helper()
+	_, body := getBody(t, f.Handler())
+	return body
+}
+
+func TestFederatorWALHealthExtra(t *testing.T) {
+	f := NewFederator(FederatorConfig{Local: metrics.NewRegistry()})
+	extra := func(h *metrics.Health) {
+		h.WAL = &metrics.WALHealth{LastSeq: 9, LastCheckpointSeq: 7, Segments: 2,
+			LastSyncError: "disk full"}
+	}
+	code, body := getBody(t, f.HealthHandler(extra))
+	if code != http.StatusOK {
+		t.Fatalf("sync errors degrade but stay 200 (process is alive), got %d", code)
+	}
+	var fh FleetHealth
+	if err := json.Unmarshal([]byte(body), &fh); err != nil {
+		t.Fatal(err)
+	}
+	if fh.Status != "degraded" || fh.WAL == nil || fh.WAL.LastCheckpointSeq != 7 {
+		t.Fatalf("WAL detail missing: %s", body)
+	}
+	// Nil extras are skipped.
+	if code, _ := getBody(t, f.HealthHandler(nil)); code != http.StatusOK {
+		t.Fatalf("nil extra should be skipped, got %d", code)
+	}
+}
+
+func TestFederatorTargetRemovalForgotten(t *testing.T) {
+	f := NewFederator(FederatorConfig{
+		Local:   metrics.NewRegistry(),
+		Targets: fixedTargets(Target{Name: "1", URL: "http://w1"}, Target{Name: "2", URL: "http://w2"}),
+		Fetch:   staticFetch(map[string]string{"http://w1/metrics": "", "http://w2/metrics": ""}),
+	})
+	f.ScrapeOnce(context.Background())
+	f.SetTargets(fixedTargets(Target{Name: "1", URL: "http://w1"}))
+	f.ScrapeOnce(context.Background())
+	h, _ := f.health(nil)
+	if len(h.Workers) != 1 || h.Workers[0].Shard != "1" {
+		t.Fatalf("removed target still reported: %+v", h.Workers)
+	}
+}
+
+func TestFederatorUnparseablePayloadIsDown(t *testing.T) {
+	f := NewFederator(FederatorConfig{
+		Local:   metrics.NewRegistry(),
+		Targets: fixedTargets(Target{Name: "1", URL: "http://w1"}),
+		Fetch:   staticFetch(map[string]string{"http://w1/metrics": "{{{ not exposition"}),
+	})
+	if ok := f.ScrapeOnce(context.Background()); ok != 0 {
+		t.Fatalf("parse failure counted as success: %d", ok)
+	}
+	h, ok := f.health(nil)
+	if ok || h.Workers[0].Status != StatusDown || h.Workers[0].Error == "" {
+		t.Fatalf("want down with parse error, got %+v", h.Workers)
+	}
+}
+
+// TestFederatorStalledWorkerBoundedByTimeout is the scrape-isolation
+// regression: a worker whose admin endpoint hangs must cost one scrape
+// round at most Timeout, not block indefinitely — and the hung member is
+// reported down while a healthy sibling still lands in the rollup.
+func TestFederatorStalledWorkerBoundedByTimeout(t *testing.T) {
+	healthy := "# TYPE c counter\nc 4\n"
+	f := NewFederator(FederatorConfig{
+		Local:   metrics.NewRegistry(),
+		Timeout: 50 * time.Millisecond,
+		Targets: fixedTargets(Target{Name: "1", URL: "http://hung"}, Target{Name: "2", URL: "http://ok"}),
+		Fetch: func(ctx context.Context, url string) ([]byte, error) {
+			if strings.HasPrefix(url, "http://hung") {
+				<-ctx.Done() // a stalled worker: never answers
+				return nil, ctx.Err()
+			}
+			return []byte(healthy), nil
+		},
+	})
+	start := time.Now()
+	ok := f.ScrapeOnce(context.Background())
+	elapsed := time.Since(start)
+	if ok != 1 {
+		t.Fatalf("healthy sibling not scraped: ok=%d", ok)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("scrape round not bounded by timeout: %v", elapsed)
+	}
+	h, healthyAll := f.health(nil)
+	if healthyAll || h.Workers[0].Status != StatusDown {
+		t.Fatalf("hung worker not reported down: %+v", h.Workers)
+	}
+	if body := renderRollup(t, f); !strings.Contains(body, "c 4") {
+		t.Fatalf("healthy worker's payload missing from rollup:\n%s", body)
+	}
+}
+
+func TestFederatorStartScrapesOnInterval(t *testing.T) {
+	var scrapes atomic.Int32
+	f := NewFederator(FederatorConfig{
+		Local:    metrics.NewRegistry(),
+		Interval: 5 * time.Millisecond,
+		Targets:  fixedTargets(Target{Name: "1", URL: "http://w1"}),
+		Fetch: func(context.Context, string) ([]byte, error) {
+			scrapes.Add(1)
+			return []byte(""), nil
+		},
+	})
+	stop := f.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for scrapes.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	if scrapes.Load() < 2 {
+		t.Fatalf("scrape loop did not run: %d scrapes", scrapes.Load())
+	}
+}
+
+func TestHTTPFetch(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			fmt.Fprint(w, "# TYPE up gauge\nup 1\n")
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+
+	body, err := httpFetch(context.Background(), srv.URL+"/metrics")
+	if err != nil || !strings.Contains(string(body), "up 1") {
+		t.Fatalf("httpFetch: %v %q", err, body)
+	}
+	if _, err := httpFetch(context.Background(), srv.URL+"/nope"); err == nil {
+		t.Fatal("non-200 fetch should error")
+	}
+	if _, err := httpFetch(context.Background(), "http://\x7f"); err == nil {
+		t.Fatal("bad URL should error")
+	}
+}

@@ -54,6 +54,11 @@ type Config struct {
 	// runner per shard plus a "coord" runner, so per-shard imbalance is
 	// visible at /metrics.
 	Shard string
+	// Heartbeat, when set, is called with the stage name once per
+	// micro-batch flush — the progress signal the stall watchdog
+	// (internal/obs) uses to tell a stage that is slowly grinding from one
+	// that stopped consuming. Nil means no reporting.
+	Heartbeat func(stage string)
 }
 
 // DefaultFlushSize is the default micro-batch size bound.
@@ -276,6 +281,9 @@ func (r *Runner) flush(name string, n int, fn func(tr *trace.Trace)) {
 	r.ins.batches.With(name, r.cfg.Shard).Inc()
 	r.ins.items.With(name, r.cfg.Shard).Add(float64(n))
 	r.ins.flushSecs.With(name, r.cfg.Shard).ObserveDuration(start)
+	if r.cfg.Heartbeat != nil {
+		r.cfg.Heartbeat(name)
+	}
 }
 
 // Through registers a stage that consumes in, applies fn per micro-batch,

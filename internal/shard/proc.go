@@ -5,10 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
+	"time"
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/features"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/label"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/twitterapi"
 )
 
@@ -56,6 +60,15 @@ type ProcConfig struct {
 	// MaxRetries bounds how many times a failed shard epoch is retried
 	// after a worker restart (default 2).
 	MaxRetries int
+	// Metrics receives the coordinator's shard counters (worker restarts,
+	// epoch retries, lines shipped, hits merged); nil binds
+	// metrics.Default().
+	Metrics *metrics.Registry
+	// Tracer records one coordinator trace per epoch, with the workers'
+	// exported spans stitched in as children of the per-shard
+	// shard_extract spans; nil binds trace.Default() (disabled by
+	// default, making every trace call a no-op).
+	Tracer *trace.Tracer
 }
 
 // ProcCoordinator drives separate-process shards through the epoch wire:
@@ -66,16 +79,53 @@ type ProcConfig struct {
 // rotation barrier: BeginEpoch distributes the post-rotation node
 // assignment, FlushEpoch completes strictly before the next rotation.
 type ProcCoordinator struct {
-	cfg  ProcConfig
-	ring *Ring
-	tr   Transport
+	cfg    ProcConfig
+	ring   *Ring
+	tr     Transport
+	obs    *procObs
+	tracer *trace.Tracer
 
 	epoch   int
+	etrace  *trace.Trace // the current epoch's coordinator trace
 	nodes   map[socialnet.AccountID][]int
 	bufs    []bytes.Buffer
 	lines   map[int64][]byte
 	tweets  map[int64]*socialnet.Tweet
 	scratch []int
+}
+
+// procObs is the coordinator's per-shard counter set, with the Vec
+// children resolved once at construction so the stream tap stays
+// lookup-free. Shard label values are 1-based, matching the pipeline's
+// shard labels.
+type procObs struct {
+	restarts []*metrics.Counter // ph_shard_worker_restarts_total{shard}
+	retries  []*metrics.Counter // ph_shard_epoch_retries_total{shard}
+	lines    []*metrics.Counter // ph_shard_epoch_lines_total{shard}
+	hits     []*metrics.Counter // ph_shard_epoch_hits_total{shard}
+}
+
+func newProcObs(reg *metrics.Registry, shards int) *procObs {
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	restarts := reg.CounterVec("ph_shard_worker_restarts_total",
+		"Proc-mode shard workers torn down and respawned after a failed epoch attempt.", "shard")
+	retries := reg.CounterVec("ph_shard_epoch_retries_total",
+		"Shard epoch attempts retried after a transport error or truncated response.", "shard")
+	lines := reg.CounterVec("ph_shard_epoch_lines_total",
+		"Candidate tweet lines shipped to each shard worker over the epoch wire.", "shard")
+	hits := reg.CounterVec("ph_shard_epoch_hits_total",
+		"Hits parsed back from each shard worker's epoch responses.", "shard")
+	o := &procObs{}
+	for s := 0; s < shards; s++ {
+		lv := strconv.Itoa(s + 1)
+		o.restarts = append(o.restarts, restarts.With(lv))
+		o.retries = append(o.retries, retries.With(lv))
+		o.lines = append(o.lines, lines.With(lv))
+		o.hits = append(o.hits, hits.With(lv))
+	}
+	return o
 }
 
 // NewProcCoordinator builds the coordinator and spawns the worker fleet.
@@ -91,14 +141,38 @@ func NewProcCoordinator(cfg ProcConfig) (*ProcCoordinator, error) {
 			return nil, err
 		}
 	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = trace.Default()
+	}
 	return &ProcCoordinator{
 		cfg:    cfg,
 		ring:   ring,
 		tr:     tr,
+		obs:    newProcObs(cfg.Metrics, ring.Shards()),
+		tracer: tracer,
 		bufs:   make([]bytes.Buffer, ring.Shards()),
 		lines:  make(map[int64][]byte),
 		tweets: make(map[int64]*socialnet.Tweet),
 	}, nil
+}
+
+// adminLister is the optional Transport extension exposing each worker's
+// admin base URL (the loopback epoch-wire server, which also mounts
+// /metrics and /healthz) for the fleet federator to scrape.
+type adminLister interface {
+	AdminURLs() []string
+}
+
+// AdminURLs returns the per-shard worker admin base URLs, or nil when the
+// transport has none (in-memory fault doubles). The slice is indexed by
+// shard; a respawned worker changes its entry, which the federator treats
+// as a restart.
+func (pc *ProcCoordinator) AdminURLs() []string {
+	if al, ok := pc.tr.(adminLister); ok {
+		return al.AdminURLs()
+	}
+	return nil
 }
 
 // Shards returns the effective shard count.
@@ -109,6 +183,10 @@ func (pc *ProcCoordinator) Shards() int { return pc.ring.Shards() }
 func (pc *ProcCoordinator) BeginEpoch(nodes map[socialnet.AccountID][]int) {
 	pc.epoch++
 	pc.nodes = nodes
+	// One coordinator trace per epoch; its id travels in every shard's
+	// header so worker spans stitch back under it at FlushEpoch.
+	pc.etrace = pc.tracer.Start("shard_epoch")
+	pc.etrace.SetAttr("epoch", strconv.Itoa(pc.epoch))
 	n := pc.ring.Shards()
 	assign := make([][]NodeAssignment, n)
 	for id, groups := range nodes {
@@ -121,7 +199,7 @@ func (pc *ProcCoordinator) BeginEpoch(nodes map[socialnet.AccountID][]int) {
 		// fingerprint in tests.
 		sort.Slice(assign[s], func(i, j int) bool { return assign[s][i].ID < assign[s][j].ID })
 		pc.bufs[s].Reset()
-		hdr, _ := json.Marshal(epochHeader{Epoch: pc.epoch, Nodes: assign[s]})
+		hdr, _ := json.Marshal(epochHeader{Epoch: pc.epoch, Nodes: assign[s], TraceID: pc.etrace.ID()})
 		pc.bufs[s].Write(hdr)
 		pc.bufs[s].WriteByte('\n')
 	}
@@ -156,6 +234,7 @@ func (pc *ProcCoordinator) OnTweet(t *socialnet.Tweet) {
 	for _, s := range targets {
 		pc.bufs[s].Write(line)
 		pc.bufs[s].WriteByte('\n')
+		pc.obs.lines[s].Inc()
 	}
 	id := int64(t.ID)
 	pc.lines[id] = line
@@ -176,40 +255,78 @@ func (pc *ProcCoordinator) FlushEpoch() error {
 		// background goroutine after a failed attempt returns, and the
 		// next BeginEpoch rewrites the buffer in place.
 		body := append([]byte(nil), pc.bufs[s].Bytes()...)
+		esp := pc.etrace.StartSpan("shard_extract")
+		esp.SetAttr("shard", strconv.Itoa(s+1))
 		var lastErr error
 		for attempt := 0; attempt <= pc.cfg.MaxRetries; attempt++ {
 			if attempt > 0 {
+				pc.obs.retries[s].Inc()
 				if err := pc.tr.Restart(s); err != nil {
 					lastErr = fmt.Errorf("restart: %w", err)
 					continue
 				}
+				pc.obs.restarts[s].Inc()
 			}
 			resp, err := pc.tr.Epoch(s, body)
 			if err != nil {
 				lastErr = err
 				continue
 			}
-			hs, err := parseHits(resp, s)
+			hs, spans, err := parseHits(resp, s)
 			if err != nil {
 				lastErr = err
 				continue
 			}
+			pc.obs.hits[s].Add(float64(len(hs)))
+			pc.stitch(s, spans)
 			hits[s], lastErr = hs, nil
 			break
 		}
+		esp.End()
 		if lastErr != nil {
+			pc.etrace.Finish()
 			return fmt.Errorf("shard: epoch %d shard %d failed after %d retries: %w",
 				pc.epoch, s, pc.cfg.MaxRetries, lastErr)
 		}
 	}
+	msp := pc.etrace.StartSpan("shard_merge")
 	merged, err := pc.merge(hits)
+	msp.End()
 	if err != nil {
+		pc.etrace.Finish()
 		return err
 	}
 	if len(merged) == 0 {
+		pc.etrace.Finish()
 		return nil
 	}
-	return pc.cfg.Apply(merged)
+	asp := pc.etrace.StartSpan("shard_apply")
+	err = pc.cfg.Apply(merged)
+	asp.SetAttr("captures", strconv.Itoa(len(merged)))
+	asp.End()
+	pc.etrace.Finish()
+	return err
+}
+
+// stitch re-ingests one worker's exported spans into the coordinator's
+// epoch trace as children of that shard's shard_extract span (marked via
+// the parent attribute — the trace model is flat, so the rendering key is
+// attributes plus containment in time). The result is one end-to-end tree
+// per capture epoch in /debug/traces, spanning the process boundary.
+func (pc *ProcCoordinator) stitch(shard int, spans []WireSpan) {
+	if pc.etrace == nil || len(spans) == 0 {
+		return
+	}
+	lv := strconv.Itoa(shard + 1)
+	for _, ws := range spans {
+		start := time.Unix(0, ws.StartUnixNano)
+		attrs := make([]trace.KV, 0, len(ws.Attrs)+2)
+		attrs = append(attrs, ws.Attrs...)
+		attrs = append(attrs,
+			trace.KV{Key: "parent", Value: "shard_extract"},
+			trace.KV{Key: "shard", Value: lv})
+		pc.etrace.AddSpan(ws.Stage, start, start.Add(time.Duration(ws.DurationNS)), attrs...)
+	}
 }
 
 // merge k-way-merges the per-shard hit streams (each ascending in tweet

@@ -4,13 +4,33 @@ import (
 	"bytes"
 	"errors"
 	"reflect"
+	"strconv"
 	"testing"
 	"time"
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/label"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/pipeline"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
 )
+
+// counterValue reads one labeled counter's value out of a registry
+// snapshot, 0 when the series does not exist.
+func counterValue(reg *metrics.Registry, name, shard string) float64 {
+	for _, fam := range reg.Snapshot() {
+		if fam.Name != name {
+			continue
+		}
+		for _, s := range fam.Samples {
+			for _, l := range s.Labels {
+				if l.Name == "shard" && l.Value == shard {
+					return s.Value
+				}
+			}
+		}
+	}
+	return 0
+}
 
 // faultKind is one injected failure mode for a shard epoch call.
 type faultKind int
@@ -71,6 +91,13 @@ func (mt *memTransport) Close() error { return nil }
 // on the given transport for hours of epochs, returning every applied
 // merged capture in order.
 func runProcEpochs(t *testing.T, tr Transport, shards, hours int) []Merged {
+	return runProcEpochsReg(t, tr, shards, hours, metrics.NewRegistry())
+}
+
+// runProcEpochsReg is runProcEpochs with the coordinator's counters bound
+// to a caller-owned registry, so fault tests can assert the restart and
+// retry counters the run emitted.
+func runProcEpochsReg(t *testing.T, tr Transport, shards, hours int, reg *metrics.Registry) []Merged {
 	t.Helper()
 	w, e, m := testWorld(t)
 	var applied []Merged
@@ -78,6 +105,7 @@ func runProcEpochs(t *testing.T, tr Transport, shards, hours int) []Merged {
 		Shards:    shards,
 		Lookup:    w.Account,
 		Transport: tr,
+		Metrics:   reg,
 		Apply: func(batch []Merged) error {
 			applied = append(applied, batch...)
 			return nil
@@ -147,10 +175,23 @@ func TestProcRetryAfterTruncatedStream(t *testing.T) {
 
 	mt := newMemTransport(shards)
 	mt.faults[1] = faultTruncate
-	faulty := runProcEpochs(t, mt, shards, hours)
+	reg := metrics.NewRegistry()
+	faulty := runProcEpochsReg(t, mt, shards, hours, reg)
 
 	if mt.restarts != 1 {
 		t.Fatalf("expected 1 worker restart, got %d", mt.restarts)
+	}
+	// The restart-and-retry path must be visible: one restart and one
+	// retry counted against the faulted shard (1-based label "2"), none
+	// against a healthy shard.
+	if got := counterValue(reg, "ph_shard_worker_restarts_total", "2"); got != 1 {
+		t.Fatalf("ph_shard_worker_restarts_total{shard=2} = %v, want 1", got)
+	}
+	if got := counterValue(reg, "ph_shard_epoch_retries_total", "2"); got != 1 {
+		t.Fatalf("ph_shard_epoch_retries_total{shard=2} = %v, want 1", got)
+	}
+	if got := counterValue(reg, "ph_shard_worker_restarts_total", "1"); got != 0 {
+		t.Fatalf("ph_shard_worker_restarts_total{shard=1} = %v, want 0", got)
 	}
 	assertSameCaptures(t, clean, faulty)
 }
@@ -163,10 +204,17 @@ func TestProcRetryAfterWorkerDeath(t *testing.T) {
 
 	mt := newMemTransport(shards)
 	mt.faults[0] = faultDie
-	faulty := runProcEpochs(t, mt, shards, hours)
+	reg := metrics.NewRegistry()
+	faulty := runProcEpochsReg(t, mt, shards, hours, reg)
 
 	if mt.restarts != 1 {
 		t.Fatalf("expected 1 worker restart, got %d", mt.restarts)
+	}
+	if got := counterValue(reg, "ph_shard_worker_restarts_total", "1"); got != 1 {
+		t.Fatalf("ph_shard_worker_restarts_total{shard=1} = %v, want 1", got)
+	}
+	if got := counterValue(reg, "ph_shard_epoch_retries_total", "1"); got != 1 {
+		t.Fatalf("ph_shard_epoch_retries_total{shard=1} = %v, want 1", got)
 	}
 	assertSameCaptures(t, clean, faulty)
 }
@@ -185,9 +233,19 @@ func TestProcRepeatedFaultsEveryShard(t *testing.T) {
 			mt.faults[s] = faultDie
 		}
 	}
-	faulty := runProcEpochs(t, mt, shards, hours)
+	reg := metrics.NewRegistry()
+	faulty := runProcEpochsReg(t, mt, shards, hours, reg)
 	if mt.restarts != shards {
 		t.Fatalf("expected %d restarts, got %d", shards, mt.restarts)
+	}
+	for s := 0; s < shards; s++ {
+		lv := strconv.Itoa(s + 1)
+		if got := counterValue(reg, "ph_shard_worker_restarts_total", lv); got != 1 {
+			t.Fatalf("ph_shard_worker_restarts_total{shard=%s} = %v, want 1", lv, got)
+		}
+		if got := counterValue(reg, "ph_shard_epoch_retries_total", lv); got != 1 {
+			t.Fatalf("ph_shard_epoch_retries_total{shard=%s} = %v, want 1", lv, got)
+		}
 	}
 	assertSameCaptures(t, clean, faulty)
 }
@@ -256,7 +314,7 @@ func TestWorkerCoreEpochOrdersHits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, err := parseHits(resp, 0)
+	hits, _, err := parseHits(resp, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/label"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/pipeline"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/twitterapi"
 )
 
@@ -33,6 +34,21 @@ type NodeAssignment struct {
 type epochHeader struct {
 	Epoch int              `json:"epoch"`
 	Nodes []NodeAssignment `json:"nodes"`
+	// TraceID is the coordinator's epoch-trace correlation id. The worker
+	// attaches it to its own epoch trace and echoes its spans in the
+	// response trailer, so the coordinator can stitch one cross-process
+	// tree per capture epoch (DESIGN.md §16).
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// WireSpan is one worker-side span exported in the epoch response: the
+// worker's trace content flattened to wall-clock-free primitives the
+// coordinator re-ingests into its own tracer via Trace.AddSpan.
+type WireSpan struct {
+	Stage         string     `json:"stage"`
+	StartUnixNano int64      `json:"start_unix_nano"`
+	DurationNS    int64      `json:"duration_ns"`
+	Attrs         []trace.KV `json:"attrs,omitempty"`
 }
 
 // Hit is one worker-side match result: the shard's view of the capture
@@ -51,10 +67,12 @@ type Hit struct {
 	UserPrep   *label.UserPrep `json:"user_prep,omitempty"`
 }
 
-// hitLine is the response-line union: a Hit or the final trailer.
+// hitLine is the response-line union: a Hit or the final trailer, which
+// carries the worker's exported spans alongside the hit count.
 type hitLine struct {
 	Hit
-	Done *int `json:"done,omitempty"`
+	Done  *int       `json:"done,omitempty"`
+	Spans []WireSpan `json:"spans,omitempty"`
 }
 
 // scannerFor builds a line scanner sized for embedded-profile tweet lines.
@@ -111,6 +129,22 @@ func (w *WorkerCore) Epoch(req io.Reader, resp io.Writer) error {
 		nodes[socialnet.AccountID(na.ID)] = na.Groups
 	}
 
+	// The worker-side epoch trace: its spans travel back in the response
+	// trailer tagged with the coordinator's trace id, giving the
+	// coordinator one stitched tree per epoch. A nil/disabled tracer makes
+	// every call below a no-op and the trailer span-free.
+	tracer := w.pcfg.Tracer
+	if tracer == nil {
+		tracer = trace.Default()
+	}
+	wtr := tracer.Start("shard_worker_epoch")
+	wtr.SetAttr("shard", strconv.Itoa(w.shard+1))
+	wtr.SetAttr("epoch", strconv.Itoa(hdr.Epoch))
+	if hdr.TraceID != "" {
+		wtr.SetAttr("coord_trace", hdr.TraceID)
+	}
+	msp := wtr.StartSpan("worker_match")
+
 	bw := bufio.NewWriter(resp)
 	enc := json.NewEncoder(bw)
 	count := 0
@@ -144,6 +178,9 @@ func (w *WorkerCore) Epoch(req io.Reader, resp io.Writer) error {
 	}
 	q.Close()
 	r.Wait()
+	msp.SetAttr("hits", strconv.Itoa(count))
+	msp.End()
+	wtr.Finish()
 	if scanErr != nil {
 		return fmt.Errorf("shard: epoch request: %w", scanErr)
 	}
@@ -151,11 +188,30 @@ func (w *WorkerCore) Epoch(req io.Reader, resp io.Writer) error {
 		return fmt.Errorf("shard: epoch response: %w", writeErr)
 	}
 	if err := enc.Encode(struct {
-		Done int `json:"done"`
-	}{count}); err != nil {
+		Done  int        `json:"done"`
+		Spans []WireSpan `json:"spans,omitempty"`
+	}{count, exportSpans(wtr)}); err != nil {
 		return err
 	}
 	return bw.Flush()
+}
+
+// exportSpans flattens a worker trace's spans for the response trailer.
+func exportSpans(tr *trace.Trace) []WireSpan {
+	info := tr.Snapshot()
+	if len(info.Spans) == 0 {
+		return nil
+	}
+	out := make([]WireSpan, 0, len(info.Spans))
+	for _, s := range info.Spans {
+		out = append(out, WireSpan{
+			Stage:         s.Stage,
+			StartUnixNano: s.Start.UnixNano(),
+			DurationNS:    s.DurationNS,
+			Attrs:         s.Attrs,
+		})
+	}
+	return out
 }
 
 // match runs the mention filter for one wire tweet against the epoch's
@@ -231,39 +287,42 @@ next:
 
 // parseHits decodes one shard's epoch response, verifying the done
 // trailer: a missing trailer or a count mismatch means the stream was
-// truncated mid-write (worker died) and the epoch must be retried.
-func parseHits(resp []byte, shard int) ([]Hit, error) {
+// truncated mid-write (worker died) and the epoch must be retried. The
+// trailer's exported worker spans ride back alongside the hits.
+func parseHits(resp []byte, shard int) ([]Hit, []WireSpan, error) {
 	var hits []Hit
+	var spans []WireSpan
 	sc := scannerFor(bytes.NewReader(resp))
 	done := -1
 	for sc.Scan() {
 		if done >= 0 {
-			return nil, fmt.Errorf("shard %d: data after done trailer", shard)
+			return nil, nil, fmt.Errorf("shard %d: data after done trailer", shard)
 		}
 		var line hitLine
 		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
-			return nil, fmt.Errorf("shard %d: response line: %w", shard, err)
+			return nil, nil, fmt.Errorf("shard %d: response line: %w", shard, err)
 		}
 		if line.Done != nil {
 			done = *line.Done
+			spans = line.Spans
 			continue
 		}
 		if len(line.Vec) != features.NumFeatures {
-			return nil, fmt.Errorf("shard %d: hit vector has %d features", shard, len(line.Vec))
+			return nil, nil, fmt.Errorf("shard %d: hit vector has %d features", shard, len(line.Vec))
 		}
 		if n := len(hits); n > 0 && hits[n-1].TweetID >= line.TweetID {
-			return nil, fmt.Errorf("shard %d: hits out of order", shard)
+			return nil, nil, fmt.Errorf("shard %d: hits out of order", shard)
 		}
 		hits = append(hits, line.Hit)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("shard %d: response: %w", shard, err)
+		return nil, nil, fmt.Errorf("shard %d: response: %w", shard, err)
 	}
 	if done < 0 {
-		return nil, fmt.Errorf("shard %d: response truncated (no done trailer)", shard)
+		return nil, nil, fmt.Errorf("shard %d: response truncated (no done trailer)", shard)
 	}
 	if done != len(hits) {
-		return nil, fmt.Errorf("shard %d: response truncated (%d hits, trailer says %d)", shard, len(hits), done)
+		return nil, nil, fmt.Errorf("shard %d: response truncated (%d hits, trailer says %d)", shard, len(hits), done)
 	}
-	return hits, nil
+	return hits, spans, nil
 }

@@ -10,10 +10,14 @@ import (
 	"os"
 	"os/exec"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/label"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/metrics"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/obs"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/pipeline"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
 )
 
 // EnvWorker marks a process as a proc-mode shard worker; its value is
@@ -47,14 +51,43 @@ func MaybeWorker() {
 	os.Exit(0)
 }
 
-// runWorker serves one shard's epoch RPC until stdin closes.
+// runWorker serves one shard's epoch RPC until stdin closes. The same
+// loopback listener doubles as the worker's admin surface: /metrics,
+// /healthz, and /debug/traces, scraped by the coordinator's fleet
+// federator (internal/obs) and browsable directly when debugging one
+// shard.
 func runWorker(shardIdx int) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	core := NewWorkerCore(shardIdx, label.DefaultConfig(), pipeline.Config{})
+	// Worker-side observability: spans for the epoch trace stitching, the
+	// runtime collector, and the pipeline stall watchdog, all against the
+	// process-default registry the admin /metrics serves.
+	tracer := trace.Default()
+	tracer.Configure(trace.Config{
+		Enabled:  true,
+		Observer: metrics.Default().SpanObserver(),
+	})
+	collector := obs.NewCollector(metrics.Default())
+	stopCollector := collector.Start(0)
+	defer stopCollector()
+	watchdog := obs.NewWatchdog(obs.WatchdogConfig{
+		Metrics: metrics.Default(),
+		Logger:  trace.NewLogger(os.Stderr, trace.LevelWarn),
+	})
+	stopWatchdog := watchdog.Start()
+	defer stopWatchdog()
+
+	core := NewWorkerCore(shardIdx, label.DefaultConfig(), pipeline.Config{
+		Tracer:    tracer,
+		Heartbeat: watchdog.HeartbeatFunc(),
+	})
 	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", metrics.Default().Handler())
+	mux.Handle("GET /healthz", metrics.HealthHandler())
+	mux.Handle("GET /debug/traces", tracer.Handler())
+	mux.Handle("GET /debug/traces/{id}", tracer.Handler())
 	mux.HandleFunc("POST /shard/epoch", func(w http.ResponseWriter, r *http.Request) {
 		// Buffer the whole response and write it only after the request
 		// body is fully consumed: HTTP/1.1 is half-duplex, and the Go
@@ -89,11 +122,30 @@ type workerProc struct {
 }
 
 // procTransport is the production Transport: one worker subprocess per
-// shard, epoch requests POSTed over loopback HTTP.
+// shard, epoch requests POSTed over loopback HTTP. The mutex guards the
+// worker table: Restart swaps entries on the coordinator goroutine while
+// the federator's scrape loop reads AdminURLs concurrently.
 type procTransport struct {
-	shards  int
-	client  *http.Client
+	shards int
+	client *http.Client
+
+	mu      sync.Mutex
 	workers []*workerProc
+}
+
+// AdminURLs returns each live worker's admin base URL, indexed by shard.
+// A respawned worker changes its entry (new loopback port), which the
+// fleet federator reports as a restart until the replacement answers.
+func (pt *procTransport) AdminURLs() []string {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	urls := make([]string, len(pt.workers))
+	for i, w := range pt.workers {
+		if w != nil {
+			urls[i] = w.addr
+		}
+	}
+	return urls
 }
 
 func newProcTransport(shards int) (*procTransport, error) {
@@ -157,7 +209,9 @@ func cmdWait(cmd *exec.Cmd) (bool, error) {
 }
 
 func (pt *procTransport) Epoch(shard int, body []byte) ([]byte, error) {
+	pt.mu.Lock()
 	w := pt.workers[shard]
+	pt.mu.Unlock()
 	resp, err := pt.client.Post(w.addr+"/shard/epoch", "application/x-ndjson", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -170,17 +224,25 @@ func (pt *procTransport) Epoch(shard int, body []byte) ([]byte, error) {
 }
 
 func (pt *procTransport) Restart(shard int) error {
-	pt.workers[shard].kill()
+	pt.mu.Lock()
+	old := pt.workers[shard]
+	pt.mu.Unlock()
+	old.kill()
 	w, err := spawnWorker(shard, pt.shards)
 	if err != nil {
 		return err
 	}
+	pt.mu.Lock()
 	pt.workers[shard] = w
+	pt.mu.Unlock()
 	return nil
 }
 
 func (pt *procTransport) Close() error {
-	for _, w := range pt.workers {
+	pt.mu.Lock()
+	workers := append([]*workerProc(nil), pt.workers...)
+	pt.mu.Unlock()
+	for _, w := range workers {
 		if w != nil {
 			w.kill()
 		}

@@ -66,15 +66,65 @@ type Store struct {
 	release func() error
 	obs     *observer
 
-	mu        sync.Mutex
-	seq       uint64 // last assigned record sequence
-	w         *segmentWriter
-	pending   int // appends since last successful sync
-	syncEvery int
-	meta      string
-	buf       []byte // payload scratch, reused across appends
-	frame     []byte // framing scratch (header + payload copy), likewise
-	closed    bool
+	mu          sync.Mutex
+	seq         uint64 // last assigned record sequence
+	lastCkpt    uint64 // sequence the newest checkpoint covers
+	lastSyncErr string // most recent fsync failure ("" = last sync ok)
+	w           *segmentWriter
+	pending     int // appends since last successful sync
+	syncEvery   int
+	meta        string
+	buf         []byte // payload scratch, reused across appends
+	frame       []byte // framing scratch (header + payload copy), likewise
+	closed      bool
+}
+
+// Status is the operator-facing durability snapshot surfaced through
+// /healthz (metrics.WALHealth): whether disk state is advancing and
+// whether the last fsync worked.
+type Status struct {
+	// LastSeq is the last assigned record sequence.
+	LastSeq uint64
+	// LastCheckpointSeq is the sequence the newest checkpoint covers
+	// (0 = none yet this process lifetime or on disk).
+	LastCheckpointSeq uint64
+	// Segments is the number of WAL segment files currently on disk.
+	Segments int
+	// LastSyncError is the most recent fsync failure, "" when the last
+	// sync succeeded.
+	LastSyncError string
+}
+
+// Status reports the store's durability state. The segment count comes
+// from a backend listing, so the call does disk metadata I/O — probe
+// frequency, not hot path.
+func (s *Store) Status() Status {
+	s.mu.Lock()
+	st := Status{
+		LastSeq:           s.seq,
+		LastCheckpointSeq: s.lastCkpt,
+		LastSyncError:     s.lastSyncErr,
+	}
+	s.mu.Unlock()
+	if names, err := s.b.List(); err == nil {
+		st.Segments = len(listSeqs(names, segmentPrefix, segmentSuffix))
+	}
+	return st
+}
+
+// HealthExtra adapts Status to the /healthz WAL section — the hook the
+// daemons hand to metrics.HealthHandlerFunc (and the fleet federator's
+// aggregated handler) when running with -store-dir.
+func (s *Store) HealthExtra() func(*metrics.Health) {
+	return func(h *metrics.Health) {
+		st := s.Status()
+		h.WAL = &metrics.WALHealth{
+			LastSeq:           st.LastSeq,
+			LastCheckpointSeq: st.LastCheckpointSeq,
+			Segments:          st.Segments,
+			LastSyncError:     st.LastSyncError,
+		}
+	}
 }
 
 // Open locks the store, recovers prior state (newest valid checkpoint
@@ -164,6 +214,7 @@ func (s *Store) recover() (*Recovery, error) {
 		base = rec.Checkpoint.Seq
 	}
 	s.seq = base
+	s.lastCkpt = base
 
 	for i, first := range segSeqs {
 		if i+1 < len(segSeqs) && segSeqs[i+1] <= base+1 {
@@ -329,9 +380,11 @@ func (s *Store) syncLocked() error {
 	}
 	if err := s.w.sync(); err != nil {
 		s.obs.syncErrors.Inc()
+		s.lastSyncErr = err.Error()
 		return err
 	}
 	s.pending = 0
+	s.lastSyncErr = ""
 	s.obs.syncs.Inc()
 	return nil
 }
@@ -372,6 +425,7 @@ func (s *Store) WriteCheckpoint(ck *Checkpoint) error {
 		s.w = nil
 	}
 	s.pruneLocked(ck.Seq)
+	s.lastCkpt = ck.Seq
 	s.obs.checkpoints.Inc()
 	s.obs.checkpointSeconds.ObserveDuration(start)
 	sp.SetAttr("seq", fmt.Sprint(ck.Seq))

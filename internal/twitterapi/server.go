@@ -53,6 +53,14 @@ func WithPprof() ServerOption {
 	return func(s *Server) { s.pprof = true }
 }
 
+// WithHealth enriches the /healthz body with extra sections before it is
+// encoded — twitterd attaches the WAL durability status (last checkpoint
+// seq, segment count, last fsync error) through it when journaling to
+// -store-dir, so durable state stops being healthy-by-omission.
+func WithHealth(extra func(*metrics.Health)) ServerOption {
+	return func(s *Server) { s.healthExtras = append(s.healthExtras, extra) }
+}
+
 // WithAdvanceHook calls fn with the hour count after every successful
 // time advance (tick or POST /sim/advance.json), while the simulation is
 // still paused. twitterd journals simulated time through it so a restarted
@@ -81,6 +89,8 @@ type Server struct {
 	tracer      *trace.Tracer
 	pprof       bool
 	advanceHook func(hours int)
+
+	healthExtras []func(*metrics.Health)
 }
 
 // stream is one connected streaming client.
@@ -120,7 +130,7 @@ func NewServer(engine *socialnet.Engine, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("POST /sim/advance.json", s.observed("sim/advance", s.handleAdvance))
 	s.mux.HandleFunc("GET /sim/stats.json", s.observed("sim/stats", s.handleStats))
 	s.mux.Handle("GET /metrics", s.reg.Handler())
-	s.mux.Handle("GET /healthz", metrics.HealthHandler())
+	s.mux.Handle("GET /healthz", metrics.HealthHandlerFunc(s.healthExtras...))
 	if s.tracer != nil {
 		s.mux.Handle("GET /debug/traces", s.tracer.Handler())
 		s.mux.Handle("GET /debug/traces/{id}", s.tracer.Handler())

@@ -8,6 +8,7 @@ import (
 
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/parallel"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/shard"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
 )
 
 // TestMain lets proc-mode shard coordinators spawn workers by re-executing
@@ -20,7 +21,10 @@ func TestMain(m *testing.M) {
 
 // shardGoldenConfig is the reference configuration of the pinned streaming
 // fingerprint (goldenStreamingFingerprint in streaming_test.go), extended
-// with a shard topology.
+// with a shard topology. Tracing and an isolated metrics registry are on:
+// the observability layer — epoch trace ids on the wire, stitched worker
+// spans, federated counters — must be invisible in every fingerprinted
+// observable.
 func shardGoldenConfig(shards int, mode string) SnifferConfig {
 	return SnifferConfig{
 		Specs: RandomSpec(120),
@@ -32,6 +36,8 @@ func shardGoldenConfig(shards int, mode string) SnifferConfig {
 		},
 		Shards:    shards,
 		ShardMode: mode,
+		Metrics:   NewMetricsRegistry(),
+		Tracer:    trace.New(trace.Config{Enabled: true, Buffer: 64}),
 	}
 }
 
