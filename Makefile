@@ -17,16 +17,18 @@ RACE_PKGS := ./internal/parallel/ \
 	./internal/store/ \
 	./internal/shard/ \
 	./internal/obs/ \
+	./internal/source/ \
 	.
 
 METRICS_COVER_MIN := 90
 TRACE_COVER_MIN := 90
 STORE_COVER_MIN := 90
 OBS_COVER_MIN := 90
+SOURCE_COVER_MIN := 90
 
-.PHONY: check vet vulncheck build test race bench bench-e2e bench-e2e-check bench-store bench-store-check bench-shard bench-shard-check cover-metrics cover-trace cover-store cover-obs
+.PHONY: check vet vulncheck build test race bench bench-e2e bench-e2e-check bench-store bench-store-check bench-shard bench-shard-check bench-ingest bench-ingest-check cover-metrics cover-trace cover-store cover-obs cover-source
 
-check: vet vulncheck build test race cover-metrics cover-trace cover-store cover-obs
+check: vet vulncheck build test race cover-metrics cover-trace cover-store cover-obs cover-source
 
 vet:
 	$(GO) vet ./...
@@ -99,6 +101,7 @@ bench:
 	$(GO) run ./cmd/benchreport -e2ebench BENCH_e2e.json
 	$(GO) run ./cmd/benchreport -storebench BENCH_store.json
 	$(GO) run ./cmd/benchreport -shardbench BENCH_shard.json
+	$(GO) run ./cmd/benchreport -ingestbench BENCH_ingest.json
 
 # bench-e2e regenerates only the committed end-to-end hot-path baseline
 # (NDJSON ingest -> features -> classification, tweets/sec and
@@ -151,3 +154,27 @@ bench-shard:
 # Set PH_SKIP_SHARD_CHECK=1 to skip on shared or throttled machines.
 bench-shard-check:
 	$(GO) run ./cmd/benchreport -shardcheck BENCH_shard.json
+
+# cover-source gates internal/source at >= $(SOURCE_COVER_MIN)% statement
+# coverage: the ingestion layer decides what the whole pipeline sees, so
+# an untested delivery or merge branch is a silent stream corruption.
+cover-source:
+	@$(GO) test -coverprofile=.source.cover ./internal/source/ > /dev/null
+	@$(GO) tool cover -func=.source.cover | awk -v min=$(SOURCE_COVER_MIN) \
+		'/^total:/ { gsub(/%/, "", $$3); \
+		if ($$3 + 0 < min) { printf "FAIL: internal/source coverage %s%% < %d%% gate\n", $$3, min; exit 1 } \
+		else printf "internal/source coverage %s%% (gate %d%%)\n", $$3, min }'
+	@rm -f .source.cover
+
+# bench-ingest regenerates the committed source-ingest baseline: posts/sec
+# through the Source interface onto the monitor match path, for a direct
+# source, a single-child mux (pure machinery overhead), and a two-child
+# merge (namespacing + merge cost).
+bench-ingest:
+	$(GO) run ./cmd/benchreport -ingestbench BENCH_ingest.json
+
+# bench-ingest-check measures ingest overhead fresh and fails when the
+# single-child mux costs more than 5% of direct-source throughput.
+# Set PH_SKIP_INGEST_CHECK=1 to skip on shared or throttled machines.
+bench-ingest-check:
+	$(GO) run ./cmd/benchreport -ingestcheck BENCH_ingest.json

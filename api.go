@@ -17,6 +17,7 @@ import (
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/pipeline"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/shard"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/socialnet"
+	"github.com/pseudo-honeypot/pseudohoneypot/internal/source"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/store"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/trace"
 	"github.com/pseudo-honeypot/pseudohoneypot/internal/twitterapi"
@@ -78,6 +79,10 @@ type (
 	// LabelStore is the incremental labeling index behind the streaming
 	// label stage.
 	LabelStore = label.Store
+	// IngestSource is one pluggable ingestion stream (DESIGN.md §17):
+	// twitter (the in-process engine), reddit (the synthetic Reddit-like
+	// firehose), replay (a recorded capture WAL), or a mux of several.
+	IngestSource = source.Source
 )
 
 // NewMetricsRegistry creates an isolated metrics registry; pass it through
@@ -201,6 +206,13 @@ type SnifferConfig struct {
 	CaptureCap int
 	// Stream selects and tunes the staged streaming runtime.
 	Stream StreamConfig
+	// Sources overrides the sniffer's ingestion: instead of subscribing
+	// to the simulation's engine (the implicit twitter source), the
+	// sniffer consumes the given sources — several are merged with
+	// deterministic k-way ordering. Requires Stream.Enabled; a replay
+	// source must be the sole entry. When Sources is set the sim argument
+	// to NewSniffer may be nil (replayed runs have no live simulation).
+	Sources []IngestSource
 	// Shards partitions the honeypot node set across N shard workers by
 	// consistent hashing on node id, each running its own stream filter
 	// and staged pipeline, with a coordinator merging the capture streams
@@ -243,6 +255,24 @@ type Sniffer struct {
 	ingest     *pipeline.Queue[*core.Capture]
 	labelStore *label.Store
 
+	// Ingestion layer (streaming/sharded modes): src delivers the post
+	// stream (the implicit twitter adapter unless cfg.Sources was set, in
+	// which case explicit is true and lookups/oracles resolve through the
+	// source rather than the simulation). srcErr latches the first replay
+	// adoption failure; it is delivery-goroutine state, reported by
+	// RunHours and DetectAll.
+	src      source.Source
+	explicit bool
+	srcIns   *sourceInstruments
+	srcErr   error
+
+	// Profile-epilogue bookkeeping (Durability.RecordRotations): the
+	// accounts every WAL'd capture referenced, in first-appearance order.
+	// Touched only by the stage goroutine that appends to the WAL, then
+	// read at Close after the stage graph has stopped.
+	profSeen map[socialnet.AccountID]struct{}
+	profIDs  []socialnet.AccountID
+
 	// Sharded modes only (SnifferConfig.Shards > 1 or ShardMode "proc").
 	fanout *shard.Fanout
 	proc   *shard.ProcCoordinator
@@ -262,10 +292,65 @@ type Sniffer struct {
 	closeOnce sync.Once
 }
 
+// Validate checks the configuration's cross-field constraints — every
+// rule NewSniffer enforces, collected in one place: shard-mode naming,
+// the streaming prerequisites of sharding, durability, and explicit
+// sources, and the source-composition rules (a replay source rides
+// alone). A zero SnifferConfig is valid.
+func (cfg SnifferConfig) Validate() error {
+	switch cfg.ShardMode {
+	case "", "inproc", "proc":
+	default:
+		return fmt.Errorf("pseudohoneypot: unknown shard mode %q", cfg.ShardMode)
+	}
+	if (cfg.Shards > 1 || cfg.ShardMode == "proc") && !cfg.Stream.Enabled {
+		return errors.New("pseudohoneypot: sharding requires the streaming pipeline (set Stream.Enabled)")
+	}
+	if cfg.ShardMode == "proc" && cfg.Durability.enabled() {
+		return errors.New("pseudohoneypot: proc shard mode does not support durability")
+	}
+	if cfg.Durability.enabled() && !cfg.Stream.Enabled {
+		return errors.New("pseudohoneypot: durability requires the streaming pipeline (set Stream.Enabled)")
+	}
+	if cfg.Durability.RecordRotations && !cfg.Durability.enabled() {
+		return errors.New("pseudohoneypot: RecordRotations requires a durable store (set Durability.Dir or Backend)")
+	}
+	if len(cfg.Sources) > 0 {
+		if !cfg.Stream.Enabled {
+			return errors.New("pseudohoneypot: explicit Sources require the streaming pipeline (set Stream.Enabled)")
+		}
+		if cfg.ShardMode == "proc" {
+			return errors.New("pseudohoneypot: proc shard mode does not support explicit Sources")
+		}
+		if cfg.Durability.enabled() {
+			return errors.New("pseudohoneypot: explicit Sources do not support durability (record with the implicit twitter source, then replay)")
+		}
+		for _, src := range cfg.Sources {
+			if src == nil {
+				return errors.New("pseudohoneypot: nil entry in Sources")
+			}
+			if _, ok := src.(source.ReplayBacked); ok {
+				if len(cfg.Sources) > 1 {
+					return errors.New("pseudohoneypot: a replay source must be the sole source")
+				}
+				if cfg.Shards > 1 {
+					return errors.New("pseudohoneypot: a replay source cannot be sharded")
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // NewSniffer attaches a sniffer to the simulation. The node set rotates at
-// every simulated hour automatically.
+// every simulated hour automatically. sim may be nil only when
+// cfg.Sources supplies the ingestion (a replayed run has no simulation).
 func NewSniffer(sim *Simulation, cfg SnifferConfig) (*Sniffer, error) {
-	if sim == nil {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	explicit := len(cfg.Sources) > 0
+	if sim == nil && !explicit {
 		return nil, errors.New("pseudohoneypot: nil simulation")
 	}
 	if len(cfg.Specs) == 0 {
@@ -289,27 +374,34 @@ func NewSniffer(sim *Simulation, cfg SnifferConfig) (*Sniffer, error) {
 		mcfg.ActiveOnly = false
 		mcfg.MaxRatio = -1
 	}
-	m := core.NewMonitor(mcfg, &core.LocalScreener{
-		World: sim.world,
-		Rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
-	})
-	s := &Sniffer{sim: sim, monitor: m, cfg: cfg}
-	switch cfg.ShardMode {
-	case "", "inproc", "proc":
-	default:
-		return nil, fmt.Errorf("pseudohoneypot: unknown shard mode %q", cfg.ShardMode)
+	// Resolve the ingest source: caller-provided (muxed when several) or
+	// the implicit twitter adapter over the simulation's engine. The
+	// synchronous batch path needs no source at all.
+	var src source.Source
+	switch {
+	case len(cfg.Sources) == 1:
+		src = cfg.Sources[0]
+	case len(cfg.Sources) > 1:
+		src = source.NewMux(cfg.Sources...)
+	case cfg.Stream.Enabled:
+		src = source.NewTwitter(sim.world, sim.engine)
 	}
-	sharded := cfg.Shards > 1 || cfg.ShardMode == "proc"
-	if sharded && !cfg.Stream.Enabled {
-		return nil, errors.New("pseudohoneypot: sharding requires the streaming pipeline (set Stream.Enabled)")
-	}
-	if cfg.ShardMode == "proc" && cfg.Durability.enabled() {
-		return nil, errors.New("pseudohoneypot: proc shard mode does not support durability")
-	}
-	if cfg.Durability.enabled() {
-		if !cfg.Stream.Enabled {
-			return nil, errors.New("pseudohoneypot: durability requires the streaming pipeline (set Stream.Enabled)")
+	// The monitor's node-selection screener comes from the source when
+	// the source owns the account population; replayed recordings never
+	// rotate, so they run with the null screener.
+	var scr core.Screener = source.NullScreener{}
+	if !explicit {
+		scr = &core.LocalScreener{
+			World: sim.world,
+			Rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
 		}
+	} else if sc, ok := src.(source.Screening); ok {
+		scr = sc.NewScreener(cfg.Seed + 1)
+	}
+	m := core.NewMonitor(mcfg, scr)
+	s := &Sniffer{sim: sim, monitor: m, cfg: cfg, src: src, explicit: explicit}
+	s.srcIns = newSourceInstruments(cfg.Metrics)
+	if cfg.Durability.enabled() {
 		if err := s.openDurable(); err != nil {
 			return nil, err
 		}
@@ -319,7 +411,7 @@ func NewSniffer(sim *Simulation, cfg SnifferConfig) (*Sniffer, error) {
 		if err := s.attachProc(); err != nil {
 			return nil, err
 		}
-	case sharded:
+	case cfg.Shards > 1:
 		s.attachSharded()
 	case cfg.Stream.Enabled:
 		s.attachStreaming()
@@ -351,21 +443,22 @@ func (s *Sniffer) labelConfig() label.Config {
 }
 
 // attachStreaming wires the stage graph and subscribes the monitor's match
-// step to the engine. Stage topology (DESIGN.md §12):
+// step to the ingest source. Stage topology (DESIGN.md §12):
 //
-//	engine ─→ match (engine goroutine) ─→ [feature] ─→ [label] ─→ [detect]
+//	source ─→ match (delivery goroutine) ─→ [feature] ─→ [label] ─→ [detect]
 //
-// Match stays on the engine goroutine (it mutates group stats that Rotate
-// reads there); everything downstream runs on stage goroutines against
-// profile snapshots frozen at match time.
+// Match stays on the delivery goroutine (it mutates group stats that
+// Rotate reads there); everything downstream runs on stage goroutines
+// against profile snapshots frozen at match time.
 func (s *Sniffer) attachStreaming() {
-	m, cfg := s.monitor, s.cfg
+	m, cfg, src := s.monitor, s.cfg, s.src
 	runner := pipeline.NewRunner(pipeline.Config{
 		FlushSize:     cfg.Stream.BatchSize,
 		FlushInterval: cfg.Stream.FlushInterval,
 		QueueCap:      cfg.Stream.QueueDepth,
 		Metrics:       cfg.Metrics,
 		Tracer:        cfg.Tracer,
+		Source:        src.ID(),
 	})
 	qFeature := pipeline.NewQueue[*core.Capture](runner, "feature")
 	qLabel := pipeline.NewQueue[*core.Capture](runner, "label")
@@ -386,6 +479,12 @@ func (s *Sniffer) attachStreaming() {
 		})
 
 	ls := label.NewStore(s.labelConfig())
+	if s.explicit {
+		// Caller-provided sources resolve user ids through the source at
+		// Snapshot time (mux namespacing, replay epilogue profiles); the
+		// implicit twitter path keeps the store's default live pointers.
+		ls.SetResolver(src.Lookup)
+	}
 	pipeline.Through(runner, "label", qLabel, qDetect,
 		func(batch []*core.Capture) []labeledCapture {
 			tweets := make([]*socialnet.Tweet, len(batch))
@@ -417,25 +516,9 @@ func (s *Sniffer) attachStreaming() {
 	})
 	runner.Start()
 
-	world := s.sim.world
-	s.sim.engine.OnHourStart(func(hour int, now time.Time) {
-		m.Rotate(now, time.Hour)
-		if s.store != nil && hour > 0 && hour%s.ckptEvery == 0 {
-			// Hour boundary on the engine goroutine: the producer is
-			// idle, so Drain reaches quiescence and the checkpoint is
-			// consistent. Failures are non-fatal — the WAL still covers
-			// everything since the last good checkpoint.
-			_ = s.checkpointDurable()
-		}
-	})
-	cancel := s.sim.engine.Subscribe(func(t *socialnet.Tweet) {
-		if t.ID <= s.watermark {
-			// Recovery fast-forward: this tweet's effects (capture or
-			// miss) are already in the restored state.
-			return
-		}
-		if c := m.Match(t, world.Account); c != nil {
-			s.lastCaptured = t.ID
+	src.OnHourStart(s.rotateHour)
+	cancel := src.Subscribe(func(p source.Post) {
+		if c := s.matchPost(p); c != nil {
 			// Blocking push is the backpressure contract: a full
 			// feature queue pauses the firehose right here.
 			_ = qFeature.Push(c)
@@ -451,10 +534,13 @@ func (s *Sniffer) attachStreaming() {
 // merges by ingest sequence number and runs the order-dependent stages,
 // so every downstream structure evolves exactly as in the 1-shard run.
 //
-//	engine ─→ match ─ring─→ shard 1..N [extract] ─→ [merge]─[label]─[detect]
+//	source ─→ match ─ring─→ shard 1..N [extract] ─→ [merge]─[label]─[detect]
 func (s *Sniffer) attachSharded() {
-	m, cfg := s.monitor, s.cfg
+	m, cfg, src := s.monitor, s.cfg, s.src
 	ls := label.NewStore(s.labelConfig())
+	if s.explicit {
+		ls.SetResolver(src.Lookup)
+	}
 	online := cfg.Online
 	f := shard.NewFanout(shard.FanoutConfig{
 		Shards: cfg.Shards,
@@ -464,6 +550,7 @@ func (s *Sniffer) attachSharded() {
 			QueueCap:      cfg.Stream.QueueDepth,
 			Metrics:       cfg.Metrics,
 			Tracer:        cfg.Tracer,
+			Source:        src.ID(),
 		},
 		Monitor: m,
 		Prepper: label.NewPrepper(s.labelConfig()),
@@ -498,19 +585,9 @@ func (s *Sniffer) attachSharded() {
 		},
 	})
 
-	world := s.sim.world
-	s.sim.engine.OnHourStart(func(hour int, now time.Time) {
-		m.Rotate(now, time.Hour)
-		if s.store != nil && hour > 0 && hour%s.ckptEvery == 0 {
-			_ = s.checkpointDurable()
-		}
-	})
-	cancel := s.sim.engine.Subscribe(func(t *socialnet.Tweet) {
-		if t.ID <= s.watermark {
-			return
-		}
-		if c := m.Match(t, world.Account); c != nil {
-			s.lastCaptured = t.ID
+	src.OnHourStart(s.rotateHour)
+	cancel := src.Subscribe(func(p source.Post) {
+		if c := s.matchPost(p); c != nil {
 			f.Ingest(c)
 		}
 	})
@@ -544,6 +621,7 @@ func (s *Sniffer) attachProc() error {
 				if err != nil {
 					return err
 				}
+				c.Source = mg.Origin
 				m.CompleteCapture(c, mg.Vec)
 				m.Store().Append(c)
 				caps[i] = c
@@ -585,16 +663,22 @@ func (s *Sniffer) attachProc() error {
 // hour's captures are flushed to the worker fleet at the hour boundary);
 // every other mode is equivalent to Simulation.RunHours.
 func (s *Sniffer) RunHours(n int) error {
-	if s.proc == nil {
-		s.sim.RunHours(n)
+	if s.proc != nil {
+		for i := 0; i < n; i++ {
+			s.sim.engine.RunHours(1)
+			if err := s.proc.FlushEpoch(); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
-	for i := 0; i < n; i++ {
-		s.sim.engine.RunHours(1)
-		if err := s.proc.FlushEpoch(); err != nil {
+	if s.src != nil {
+		if err := s.src.RunHours(n); err != nil {
 			return err
 		}
+		return s.srcErr
 	}
+	s.sim.RunHours(n)
 	return nil
 }
 
@@ -625,9 +709,16 @@ func (s *Sniffer) Close() {
 		if s.proc != nil {
 			_ = s.proc.Close()
 		}
+		if s.explicit {
+			// The implicit twitter adapter holds no resources; explicit
+			// sources (reddit engines, replay logs, muxes) do.
+			_ = s.src.Close()
+		}
 		if s.store != nil {
-			// The stage graph has stopped appending; sync the WAL tail
-			// and release the directory lock.
+			// The stage graph has stopped appending: stamp the profile
+			// epilogue (replay labels suspensions against end-of-run
+			// profiles), then sync the WAL tail and release the lock.
+			s.writeProfileEpilogue()
 			_ = s.store.Close()
 		}
 	})
@@ -681,11 +772,23 @@ type DetectionResult struct {
 // label store instead of re-clustering from scratch.
 func (s *Sniffer) DetectAll() (*DetectionResult, error) {
 	s.drainPipeline()
+	if s.srcErr != nil {
+		return nil, s.srcErr
+	}
 	captures := s.monitor.Captures()
 	if len(captures) == 0 {
 		return nil, errors.New("pseudohoneypot: nothing captured yet")
 	}
-	oracle := label.NewNoisyOracle(s.sim.world, s.cfg.ManualLabelErrorRate, s.cfg.Seed+2)
+	var oracle label.Oracle
+	if s.explicit {
+		// Multi-source and replayed runs have no single live world; the
+		// manual-check oracle resolves accounts through the source. The
+		// flip hash depends only on ids and the seed, so a replay's
+		// manual checks agree with its recording.
+		oracle = label.NewNoisyLookupOracle(s.src.Lookup, s.cfg.ManualLabelErrorRate, s.cfg.Seed+2)
+	} else {
+		oracle = label.NewNoisyOracle(s.sim.world, s.cfg.ManualLabelErrorRate, s.cfg.Seed+2)
+	}
 	var labels *label.Result
 	if s.labelStore != nil {
 		labels = s.labelStore.Snapshot(oracle)

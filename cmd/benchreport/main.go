@@ -45,6 +45,8 @@ func run() error {
 		stCheck   = flag.String("storecheck", "", "measure WAL append/recovery fresh and fail on regression or a blown overhead budget vs this baseline JSON (PH_SKIP_STORE_CHECK=1 skips)")
 		shBench   = flag.String("shardbench", "", "skip the experiment tables and regenerate the shard-scaling baseline JSON at this path (e.g. BENCH_shard.json)")
 		shCheck   = flag.String("shardcheck", "", "measure the shard-count scaling curve fresh and fail if the 4-shard speedup misses the core-count-tiered floor vs this baseline JSON (PH_SKIP_SHARD_CHECK=1 skips)")
+		inBench   = flag.String("ingestbench", "", "skip the experiment tables and regenerate the source-ingest baseline JSON at this path (e.g. BENCH_ingest.json)")
+		inCheck   = flag.String("ingestcheck", "", "measure source-ingest overhead fresh and fail if the single-child mux costs more than 5% of direct-source throughput vs this baseline JSON (PH_SKIP_INGEST_CHECK=1 skips)")
 	)
 	flag.Parse()
 	if *mlBench != "" {
@@ -67,6 +69,12 @@ func run() error {
 	}
 	if *shCheck != "" {
 		return runShardCheck(*shCheck)
+	}
+	if *inBench != "" {
+		return runIngestBench(*inBench)
+	}
+	if *inCheck != "" {
+		return runIngestCheck(*inCheck)
 	}
 	if *format != "text" && *format != "csv" && *format != "json" {
 		return fmt.Errorf("unknown format %q", *format)

@@ -8,6 +8,7 @@
 //
 //	phsniffer [-hours 24] [-nodes-per-value 2] [-accounts 6000]
 //	          [-classifier RF] [-seed 1] [-top 10]
+//	          [-source twitter,reddit,replay:DIR]
 //	          [-stream] [-batch-size 64] [-flush-interval 25ms]
 //	          [-shards N] [-shard-mode inproc|proc]
 //	          [-capture-cap 0]
@@ -16,6 +17,16 @@
 //	          [-obs-scrape-interval 2s]
 //	          [-trace-buffer 256] [-slow-span 250ms] [-log-level info]
 //	          [-pprof]
+//
+// With -source, the sniffer consumes the named ingest sources instead of
+// the implicit simulated-Twitter firehose (DESIGN.md §17): "twitter" is
+// the explicit form of the default, "reddit" adds the synthetic
+// Reddit-like firehose (own account population, crossposting spam),
+// and "replay:DIR" re-feeds a capture WAL recorded by an earlier
+// -store-dir run with rotation records. Several comma-separated sources
+// are merged deterministically; a replay source must ride alone.
+// -source implies -stream and is incompatible with -store-dir and
+// -shard-mode proc.
 //
 // With -stream, the sniffer runs on the staged streaming pipeline
 // (match → feature → label → detect) with micro-batching tuned by
@@ -32,7 +43,9 @@
 // final result is identical to a run that never stopped. The directory is
 // locked against concurrent runs; -sync-every groups WAL fsyncs
 // (group commit), -checkpoint-every spaces checkpoints in simulated
-// hours.
+// hours. Adding -record-rotations journals the hourly rotations and a
+// final profile epilogue too, which is what -source replay:DIR needs to
+// re-feed the recording later.
 //
 // With -metrics-addr, the process serves its live metrics registry at
 // GET /metrics (Prometheus text), GET /healthz, and — when tracing is on —
@@ -60,6 +73,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -97,6 +111,7 @@ func run() error {
 		classifier  = flag.String("classifier", "RF", "detector family: DT, kNN, SVM, EGB, RF")
 		seed        = flag.Int64("seed", 1, "world and selection seed")
 		top         = flag.Int("top", 10, "PGE rows to print")
+		srcSpec     = flag.String("source", "", "comma-separated ingest sources: twitter, reddit, replay:DIR (empty = implicit twitter; implies -stream)")
 		stream      = flag.Bool("stream", false, "run on the staged streaming pipeline instead of batch mode")
 		batchSize   = flag.Int("batch-size", pseudohoneypot.DefaultStreamBatchSize, "streaming micro-batch flush size")
 		flushEvery  = flag.Duration("flush-interval", pseudohoneypot.DefaultStreamFlushInterval, "streaming partial-batch age bound")
@@ -104,6 +119,7 @@ func run() error {
 		shardMode   = flag.String("shard-mode", "", "shard isolation: inproc (goroutines, default) or proc (worker subprocesses over loopback HTTP)")
 		captureCap  = flag.Int("capture-cap", 0, "max captures retained (FIFO eviction past the cap; 0 = unbounded)")
 		storeDir    = flag.String("store-dir", "", "durable WAL+checkpoint directory; a restart against it resumes without double-counting (implies -stream)")
+	recordRot   = flag.Bool("record-rotations", false, "journal hourly rotations and a profile epilogue into the WAL so -source replay:DIR can re-feed it (requires -store-dir)")
 		syncEvery   = flag.Int("sync-every", 1, "WAL appends per fsync (group commit; 1 = every capture durable immediately)")
 		ckptEvery   = flag.Int("checkpoint-every", 1, "simulated hours between pipeline checkpoints")
 		server      = flag.String("server", "", "twitterd base URL for remote monitoring (e.g. http://127.0.0.1:8331)")
@@ -156,13 +172,34 @@ func run() error {
 		return runRemote(*server, *hours, *perValue, *seed, *export)
 	}
 
-	cfg := pseudohoneypot.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.NumAccounts = *accounts
-	cfg.OrganicTweetsPerHour = *organic
-	sim, err := pseudohoneypot.NewSimulation(cfg)
+	srcNames := splitSources(*srcSpec)
+	// Replay- or reddit-only ingestion owns its account population; the
+	// local simulation exists only for the implicit or explicit twitter
+	// source.
+	needSim := len(srcNames) == 0
+	for _, n := range srcNames {
+		if n == "twitter" {
+			needSim = true
+		}
+	}
+	var sim *pseudohoneypot.Simulation
+	if needSim {
+		cfg := pseudohoneypot.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.NumAccounts = *accounts
+		cfg.OrganicTweetsPerHour = *organic
+		var err error
+		sim, err = pseudohoneypot.NewSimulation(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	sources, err := buildSources(srcNames, sim, *seed)
 	if err != nil {
 		return err
+	}
+	if len(sources) > 0 {
+		*stream = true // explicit sources feed the stage graph
 	}
 	if *storeDir != "" {
 		*stream = true // durability rides on the stage graph's ordering
@@ -180,12 +217,14 @@ func run() error {
 			BatchSize:     *batchSize,
 			FlushInterval: *flushEvery,
 		},
+		Sources:   sources,
 		Shards:    *shards,
 		ShardMode: *shardMode,
 		Durability: pseudohoneypot.DurabilityConfig{
 			Dir:             *storeDir,
 			SyncEvery:       *syncEvery,
 			CheckpointEvery: *ckptEvery,
+			RecordRotations: *recordRot,
 		},
 	})
 	if err != nil {
@@ -267,6 +306,50 @@ func run() error {
 		fleet = fed.Rollup()
 	}
 	return writeExport(*export, []*report.Table{tbl}, fleet)
+}
+
+// splitSources parses the -source flag into its trimmed, non-empty
+// comma-separated entries.
+func splitSources(spec string) []string {
+	var names []string
+	for _, part := range strings.Split(spec, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			names = append(names, part)
+		}
+	}
+	return names
+}
+
+// buildSources constructs the ingest sources named by -source. sim is
+// non-nil exactly when the list names twitter; reddit seeds a disjoint
+// world off the run seed so the two populations never collide.
+func buildSources(names []string, sim *pseudohoneypot.Simulation, seed int64) ([]pseudohoneypot.IngestSource, error) {
+	sources := make([]pseudohoneypot.IngestSource, 0, len(names))
+	for _, name := range names {
+		switch {
+		case name == "twitter":
+			sources = append(sources, pseudohoneypot.NewTwitterSource(sim))
+		case name == "reddit":
+			src, err := pseudohoneypot.NewRedditSource(pseudohoneypot.RedditSourceConfig{Seed: seed + 2})
+			if err != nil {
+				return nil, err
+			}
+			sources = append(sources, src)
+		case strings.HasPrefix(name, "replay:"):
+			dir := strings.TrimPrefix(name, "replay:")
+			if dir == "" {
+				return nil, fmt.Errorf("replay source needs a directory: %q", name)
+			}
+			src, err := pseudohoneypot.NewReplaySource(dir)
+			if err != nil {
+				return nil, err
+			}
+			sources = append(sources, src)
+		default:
+			return nil, fmt.Errorf("unknown source %q (want twitter, reddit, or replay:DIR)", name)
+		}
+	}
+	return sources, nil
 }
 
 // serveMetrics exposes the process metrics — fronted by the fleet

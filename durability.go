@@ -46,6 +46,14 @@ type DurabilityConfig struct {
 	// CheckpointEvery is the number of simulated hours between
 	// checkpoints (default 1).
 	CheckpointEvery int
+	// RecordRotations additionally journals every node-set rotation's
+	// per-group counts and, at Close, an epilogue of the final profiles
+	// of every captured account — everything a ReplaySource needs to
+	// re-feed the WAL through the full pipeline and reproduce the run's
+	// detection result. A recording run retains its full WAL: compaction
+	// pruning is suspended (store.Options.RetainAll), because a pruned
+	// prefix would silently truncate the replay.
+	RecordRotations bool
 }
 
 func (d DurabilityConfig) enabled() bool { return d.Dir != "" || d.Backend != nil }
@@ -87,6 +95,7 @@ func (s *Sniffer) openDurable() error {
 		Meta:      durabilityMeta(s.cfg),
 		Metrics:   s.cfg.Metrics,
 		Tracer:    s.cfg.Tracer,
+		RetainAll: d.RecordRotations,
 	})
 	if err != nil {
 		return fmt.Errorf("pseudohoneypot: open durable store: %w", err)
@@ -204,9 +213,16 @@ func (s *Sniffer) walAppend(c *core.Capture) {
 		Sender:   c.SenderSnapshot(),
 		Receiver: c.ReceiverSnapshot(),
 		Groups:   c.Groups,
+		Src:      c.Source,
 	}
 	if err := s.store.AppendCapture(&rec); err != nil {
 		_ = s.store.AppendCapture(&rec)
+	}
+	if s.cfg.Durability.RecordRotations {
+		s.trackProfile(c.Tweet.AuthorID)
+		if r := c.ReceiverSnapshot(); r != nil {
+			s.trackProfile(r.ID)
+		}
 	}
 }
 

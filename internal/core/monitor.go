@@ -112,6 +112,10 @@ type Capture struct {
 	// Batch stages (labeling, classification) append spans after the
 	// capture itself finished.
 	Trace *trace.Trace
+	// Source is the id of the ingest source that delivered the tweet
+	// ("twitter", "reddit", "replay"); empty on the legacy single-source
+	// paths, which predate the ingestion layer.
+	Source string
 
 	// senderSnap/receiverSnap are profile copies taken on the engine
 	// goroutine at match time. Feature extraction reads them instead of
@@ -161,8 +165,12 @@ type Monitor struct {
 	scratchMergeAttrs []string
 
 	rotations int
-	ins       *monitorInstruments
-	tracer    *trace.Tracer
+	// lastRotation is the per-group node count of the most recent Rotate —
+	// what the durable rotation record persists so a WAL replay can
+	// re-accrue node hours without re-screening a world that is gone.
+	lastRotation []int
+	ins          *monitorInstruments
+	tracer       *trace.Tracer
 }
 
 // NewMonitor creates a monitor over the screener.
@@ -236,6 +244,7 @@ func (m *Monitor) Rotate(now time.Time, period time.Duration) {
 	tr := m.tracer.Start("rotate")
 	sp := tr.StartSpan("rotate")
 	m.nodes = make(map[socialnet.AccountID][]int)
+	rotCounts := make([]int, len(m.groups))
 	maxRatio := m.cfg.MaxRatio
 	if maxRatio == 0 {
 		maxRatio = DefaultMaxRatio
@@ -270,9 +279,11 @@ func (m *Monitor) Rotate(now time.Time, period time.Duration) {
 			m.used[a.ID] = struct{}{}
 		}
 		g.NodeHours += float64(len(accounts)) * period.Hours()
+		rotCounts[gi] = len(accounts)
 		m.ins.groupNodeHours[gi].Add(float64(len(accounts)) * period.Hours())
 		m.ins.updateGroup(gi, g)
 	}
+	m.lastRotation = rotCounts
 	m.rotations++
 	m.ins.rotations.Inc()
 	m.ins.nodes.Set(float64(len(m.nodes)))
@@ -300,6 +311,30 @@ func (m *Monitor) AccrueHours(period time.Duration) {
 		m.ins.groupNodeHours[gi].Add(float64(n) * period.Hours())
 		m.ins.updateGroup(gi, m.groups[gi])
 	}
+}
+
+// LastRotationCounts returns the per-group node counts selected by the
+// most recent Rotate (nil before the first rotation). The durable store
+// persists them so a replayed run re-accrues the same node hours.
+func (m *Monitor) LastRotationCounts() []int { return m.lastRotation }
+
+// AccrueGroupNodes credits each group with counts[gi] nodes monitored for
+// period — the replay-mode twin of Rotate's node-hours accrual. Replay
+// cannot re-screen the original world, so it feeds the recorded rotation
+// counts back through this instead. Counts beyond the group list are
+// ignored (a recording from a larger deployment plan fails validation
+// upstream).
+func (m *Monitor) AccrueGroupNodes(counts []int, period time.Duration) {
+	for gi, n := range counts {
+		if gi >= len(m.groups) || n == 0 {
+			continue
+		}
+		m.groups[gi].NodeHours += float64(n) * period.Hours()
+		m.ins.groupNodeHours[gi].Add(float64(n) * period.Hours())
+		m.ins.updateGroup(gi, m.groups[gi])
+	}
+	m.rotations++
+	m.ins.rotations.Inc()
 }
 
 // OnTweet feeds one stream tweet through the mention filter. lookup

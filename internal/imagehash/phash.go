@@ -1,0 +1,290 @@
+package imagehash
+
+import "math"
+
+// pHash (perceptual DCT hash) complements dHash for campaign-image
+// clustering: where dHash compares adjacent thumbnail pixels — exact on
+// the synthetic block avatars but brittle under rescaling and lossy
+// recompression — pHash thresholds the image's low-frequency DCT
+// coefficients against their median. Low frequencies survive resampling
+// and JPEG-style quantization, so mutated campaign variants (rescaled,
+// recompressed, badge-edited) stay within the Hamming threshold of their
+// base while unrelated images remain far apart.
+
+const (
+	// phashSize is the square input the image is reduced to before the
+	// DCT. 32×32 is the conventional pHash working size: large enough
+	// that the retained low-frequency block is insensitive to the
+	// original resolution, small enough that the transform is cheap.
+	phashSize = 32
+	// phashBandW/H bound the retained low-frequency coefficient block:
+	// 8 rows × 16 columns = 128 coefficients, one per hash bit.
+	phashBandW = 16
+	phashBandH = 8
+)
+
+// PHash computes the 128-bit perceptual DCT hash of m: reduce to 32×32,
+// apply a 2-D DCT-II, keep the 8×16 lowest-frequency block, and set each
+// bit if its coefficient exceeds the block's median. The DC coefficient
+// (overall brightness) is excluded from both the median and the hash, so
+// global brightness shifts do not move the hash at all.
+func PHash(m *Image) Hash {
+	t := reduce(m, phashSize, phashSize)
+	coeffs := dct2d(t)
+
+	band := make([]float64, 0, phashBandW*phashBandH)
+	for v := 0; v < phashBandH; v++ {
+		for u := 0; u < phashBandW; u++ {
+			if u == 0 && v == 0 {
+				continue // DC
+			}
+			band = append(band, coeffs[v*phashSize+u])
+		}
+	}
+	med := median(band)
+
+	var hi, lo uint64
+	bit := 0
+	for v := 0; v < phashBandH; v++ {
+		for u := 0; u < phashBandW; u++ {
+			if !(u == 0 && v == 0) && coeffs[v*phashSize+u] > med {
+				if bit < 64 {
+					hi |= 1 << uint(63-bit)
+				} else {
+					lo |= 1 << uint(127-bit)
+				}
+			}
+			bit++
+		}
+	}
+	return Hash{Hi: hi, Lo: lo}
+}
+
+// dct2d computes the 2-D DCT-II of a square image as two 1-D passes
+// (rows then columns), returning row-major coefficients.
+func dct2d(m *Image) []float64 {
+	n := phashSize
+	tmp := make([]float64, n*n)
+	out := make([]float64, n*n)
+	row := make([]float64, n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			row[x] = float64(m.At(x, y))
+		}
+		dst := tmp[y*n : (y+1)*n]
+		dct1d(row, dst)
+	}
+	col := make([]float64, n)
+	colOut := make([]float64, n)
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			col[y] = tmp[y*n+x]
+		}
+		dct1d(col, colOut)
+		for y := 0; y < n; y++ {
+			out[y*n+x] = colOut[y]
+		}
+	}
+	return out
+}
+
+// dct1d computes the orthonormal DCT-II of src into dst (equal lengths).
+func dct1d(src, dst []float64) {
+	n := len(src)
+	for k := 0; k < n; k++ {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += src[i] * math.Cos(math.Pi*float64(k)*(2*float64(i)+1)/(2*float64(n)))
+		}
+		scale := math.Sqrt(2 / float64(n))
+		if k == 0 {
+			scale = math.Sqrt(1 / float64(n))
+		}
+		dst[k] = sum * scale
+	}
+}
+
+// median returns the median of xs (average of the middle pair for even
+// lengths). xs is not modified.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	// Insertion sort: the band is 127 elements, far below the point
+	// where sort.Float64s wins.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// Rescale resamples m to w×h with bilinear interpolation, modelling the
+// platform's thumbnail pipeline. Deterministic; no randomness involved.
+func Rescale(m *Image, w, h int) *Image {
+	out := NewImage(w, h)
+	if m.W == 0 || m.H == 0 || w <= 0 || h <= 0 {
+		return out
+	}
+	sx := float64(m.W) / float64(w)
+	sy := float64(m.H) / float64(h)
+	for y := 0; y < h; y++ {
+		fy := (float64(y)+0.5)*sy - 0.5
+		y0 := int(math.Floor(fy))
+		wy := fy - float64(y0)
+		for x := 0; x < w; x++ {
+			fx := (float64(x)+0.5)*sx - 0.5
+			x0 := int(math.Floor(fx))
+			wx := fx - float64(x0)
+			v := (1-wy)*((1-wx)*sampleClamped(m, x0, y0)+wx*sampleClamped(m, x0+1, y0)) +
+				wy*((1-wx)*sampleClamped(m, x0, y0+1)+wx*sampleClamped(m, x0+1, y0+1))
+			out.Set(x, y, clampByte(math.Round(v)))
+		}
+	}
+	return out
+}
+
+// sampleClamped reads a pixel with edge-clamped coordinates.
+func sampleClamped(m *Image, x, y int) float64 {
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	if x >= m.W {
+		x = m.W - 1
+	}
+	if y >= m.H {
+		y = m.H - 1
+	}
+	return float64(m.Pix[y*m.W+x])
+}
+
+// jpegQuantBase is the standard JPEG luminance quantization table
+// (Annex K of the JPEG spec), the matrix real encoders scale by quality.
+var jpegQuantBase = [64]float64{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// Recompress simulates one JPEG-style lossy round trip at the given
+// quality (1–100): each 8×8 block is DCT-transformed, quantized with the
+// standard luminance table scaled by quality, dequantized, and inverse
+// transformed. This is the dominant distortion a re-uploaded avatar
+// suffers, and the perturbation the pHash robustness tests drive.
+// Deterministic; no randomness involved.
+func Recompress(m *Image, quality int) *Image {
+	out := NewImage(m.W, m.H)
+	if m.W == 0 || m.H == 0 {
+		return out
+	}
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 100 {
+		quality = 100
+	}
+	// The libjpeg quality→scale mapping.
+	var scale float64
+	if quality < 50 {
+		scale = 5000 / float64(quality)
+	} else {
+		scale = 200 - 2*float64(quality)
+	}
+	var quant [64]float64
+	for i, q := range jpegQuantBase {
+		v := math.Floor((q*scale + 50) / 100)
+		if v < 1 {
+			v = 1
+		}
+		quant[i] = v
+	}
+
+	const bs = 8
+	var block, freq [64]float64
+	for by := 0; by < m.H; by += bs {
+		for bx := 0; bx < m.W; bx += bs {
+			// Level-shifted block with edge-clamped reads (partial edge
+			// blocks pad by replication, as encoders do).
+			for y := 0; y < bs; y++ {
+				for x := 0; x < bs; x++ {
+					block[y*bs+x] = sampleClamped(m, bx+x, by+y) - 128
+				}
+			}
+			dctBlock(&block, &freq)
+			for i := range freq {
+				freq[i] = math.Round(freq[i]/quant[i]) * quant[i]
+			}
+			idctBlock(&freq, &block)
+			for y := 0; y < bs && by+y < m.H; y++ {
+				for x := 0; x < bs && bx+x < m.W; x++ {
+					out.Set(bx+x, by+y, clampByte(math.Round(block[y*bs+x]+128)))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// dctBlock computes the orthonormal 8×8 DCT-II of src into dst.
+func dctBlock(src, dst *[64]float64) {
+	const n = 8
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			sum := 0.0
+			for y := 0; y < n; y++ {
+				for x := 0; x < n; x++ {
+					sum += src[y*n+x] *
+						math.Cos(math.Pi*float64(u)*(2*float64(x)+1)/16) *
+						math.Cos(math.Pi*float64(v)*(2*float64(y)+1)/16)
+				}
+			}
+			cu, cv := 1.0, 1.0
+			if u == 0 {
+				cu = math.Sqrt2 / 2
+			}
+			if v == 0 {
+				cv = math.Sqrt2 / 2
+			}
+			dst[v*n+u] = sum * cu * cv / 4
+		}
+	}
+}
+
+// idctBlock inverts dctBlock.
+func idctBlock(src, dst *[64]float64) {
+	const n = 8
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			sum := 0.0
+			for v := 0; v < n; v++ {
+				for u := 0; u < n; u++ {
+					cu, cv := 1.0, 1.0
+					if u == 0 {
+						cu = math.Sqrt2 / 2
+					}
+					if v == 0 {
+						cv = math.Sqrt2 / 2
+					}
+					sum += cu * cv * src[v*n+u] *
+						math.Cos(math.Pi*float64(u)*(2*float64(x)+1)/16) *
+						math.Cos(math.Pi*float64(v)*(2*float64(y)+1)/16)
+				}
+			}
+			dst[y*n+x] = sum / 4
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package imagehash
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPHashDeterministic(t *testing.T) {
+	m := Synthesize(42)
+	if PHash(m) != PHash(m) {
+		t.Fatal("PHash is not deterministic")
+	}
+	if PHash(Synthesize(7)) != PHash(Synthesize(7)) {
+		t.Fatal("equal seeds produced different pHashes")
+	}
+}
+
+func TestPHashEmptyImageNoPanic(t *testing.T) {
+	_ = PHash(NewImage(0, 5))
+	_ = Rescale(NewImage(0, 0), 48, 48)
+	_ = Recompress(NewImage(0, 0), 60)
+}
+
+// The DC coefficient is excluded from the hash, so a global brightness
+// shift (a re-encode with different gamma/levels) moves no bits at all.
+func TestPHashBrightnessInvariant(t *testing.T) {
+	base := Synthesize(17)
+	// Compress the dynamic range so the +24 shift cannot clamp.
+	mid := NewImage(base.W, base.H)
+	for i, v := range base.Pix {
+		mid.Pix[i] = v/2 + 64
+	}
+	bright := NewImage(mid.W, mid.H)
+	for i, v := range mid.Pix {
+		bright.Pix[i] = v + 24
+	}
+	if PHash(mid) != PHash(bright) {
+		t.Fatal("global brightness shift moved the pHash")
+	}
+}
+
+// Rescale at the identity size must reproduce the image exactly (the
+// bilinear kernel degenerates to a copy), so thumbnail pipelines that
+// happen to match the stored size are lossless.
+func TestRescaleIdentity(t *testing.T) {
+	m := Synthesize(3)
+	r := Rescale(m, m.W, m.H)
+	for i := range m.Pix {
+		if m.Pix[i] != r.Pix[i] {
+			t.Fatal("same-size Rescale modified pixels")
+		}
+	}
+}
+
+// Property (robustness under lossy recompression): one JPEG-style round
+// trip at any realistic quality moves the pHash by at most the paper's
+// grouping threshold — low-frequency DCT coefficients are exactly what
+// quantization preserves. This is where dHash is brittle (its adjacent
+// 9×9-thumbnail comparisons flip on block artifacts); the cluster
+// comparison below quantifies the gap.
+func TestPHashRecompressionBounded(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		base := Synthesize(seed)
+		h := PHash(base)
+		for _, q := range []int{30, 45, 60, 75, 90} {
+			if d := h.Distance(PHash(Recompress(base, q))); d > DefaultThreshold {
+				t.Fatalf("seed %d quality %d: pHash moved %d bits, want ≤ %d",
+					seed, q, d, DefaultThreshold)
+			}
+		}
+	}
+}
+
+// Property (robustness under rescaling): resampling to any realistic
+// thumbnail size keeps the pHash within 32 bits of the original — a
+// quarter of the hash, far below the ≈46-bit floor unrelated synthetic
+// images keep between each other — so rescaled variants stay nearer
+// their base than any unrelated image.
+func TestPHashRescaleBounded(t *testing.T) {
+	const bound = 32
+	for seed := int64(0); seed < 40; seed++ {
+		base := Synthesize(seed)
+		h := PHash(base)
+		for _, sz := range []int{48, 64, 96, 128} {
+			if d := h.Distance(PHash(Rescale(base, sz, sz))); d > bound {
+				t.Fatalf("seed %d size %d: pHash moved %d bits, want ≤ %d",
+					seed, sz, d, bound)
+			}
+		}
+	}
+}
+
+// Unrelated synthetic images land far apart under pHash, same as the
+// dHash guarantee the grouping depends on.
+func TestPHashDifferentSeedsFarApart(t *testing.T) {
+	far := 0
+	const pairs = 100
+	for i := 0; i < pairs; i++ {
+		a := PHash(Synthesize(int64(i)))
+		b := PHash(Synthesize(int64(i + 1000)))
+		if a.Distance(b) > 32 {
+			far++
+		}
+	}
+	if far < pairs*9/10 {
+		t.Fatalf("only %d/%d unrelated pairs beyond 32 bits", far, pairs)
+	}
+}
+
+// TestPHashVsDHashRecompressedClusters is the cluster-quality comparison
+// behind Config.ImageHashMode: campaign avatars re-uploaded through
+// lossy encoders at mixed qualities, grouped at the paper's threshold.
+// pHash keeps campaigns nearly whole where dHash fragments them several
+// times over; neither hash merges distinct campaigns.
+func TestPHashVsDHashRecompressedClusters(t *testing.T) {
+	const (
+		campaigns = 10
+		members   = 12
+	)
+	quals := []int{30, 45, 60, 75, 90}
+	cluster := func(hash func(*Image) Hash) (groups, merges int) {
+		rng := rand.New(rand.NewSource(7))
+		g := NewGrouper(DefaultThreshold)
+		owner := map[int]int{} // group id -> campaign
+		for c := 0; c < campaigns; c++ {
+			base := Synthesize(int64(1000 + c))
+			for m := 0; m < members; m++ {
+				v := Recompress(Perturb(base, 40, rng), quals[rng.Intn(len(quals))])
+				id := g.Add(hash(v))
+				if prev, ok := owner[id]; ok && prev != c {
+					merges++
+				}
+				owner[id] = c
+			}
+		}
+		return g.Len(), merges
+	}
+
+	dGroups, dMerges := cluster(DHash)
+	pGroups, pMerges := cluster(PHash)
+	if dMerges != 0 || pMerges != 0 {
+		t.Fatalf("cross-campaign merges: dHash %d, pHash %d, want 0", dMerges, pMerges)
+	}
+	// Perfect recall would be one group per campaign. pHash should stay
+	// near it; dHash fragments badly under block artifacts (measured:
+	// pHash 14 groups, dHash 40 for this configuration).
+	if pGroups > campaigns*2 {
+		t.Fatalf("pHash fragmented recompressed campaigns into %d groups (campaigns=%d)",
+			pGroups, campaigns)
+	}
+	if dGroups <= pGroups {
+		t.Fatalf("expected dHash (%d groups) to fragment more than pHash (%d groups)",
+			dGroups, pGroups)
+	}
+}
+
+// TestMutatedWorldPipelineClusters pins the exact mutation the socialnet
+// world applies with MutateCampaignImages (Perturb → 48×48 rescale →
+// quality-60 recompression): variants of one campaign still cluster at a
+// moderate threshold under pHash while an unrelated image opens its own
+// group.
+func TestMutatedWorldPipelineClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := NewGrouper(20)
+	base := Synthesize(1234)
+	for i := 0; i < 20; i++ {
+		v := Recompress(Rescale(Perturb(base, 40, rng), 48, 48), 60)
+		g.Add(PHash(v))
+	}
+	if g.Len() > 3 {
+		t.Fatalf("mutated campaign split into %d pHash groups, want few", g.Len())
+	}
+	before := g.Len()
+	g.Add(PHash(Synthesize(777777)))
+	if g.Len() != before+1 {
+		t.Fatal("unrelated image joined a mutated campaign's pHash group")
+	}
+}
+
+func BenchmarkPHash(b *testing.B) {
+	m := Synthesize(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = PHash(m)
+	}
+}
+
+func BenchmarkRecompress(b *testing.B) {
+	m := Synthesize(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Recompress(m, 60)
+	}
+}

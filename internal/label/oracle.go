@@ -11,7 +11,7 @@ import (
 // deterministic per item (re-checking the same tweet gives the same wrong
 // answer), as human labeling mistakes tend to be.
 type NoisyOracle struct {
-	world   *socialnet.World
+	lookup  func(socialnet.AccountID) *socialnet.Account
 	errRate float64
 	seed    int64
 }
@@ -21,13 +21,22 @@ var _ Oracle = (*NoisyOracle)(nil)
 // NewNoisyOracle creates an oracle over the world with the given error
 // rate in [0, 1).
 func NewNoisyOracle(world *socialnet.World, errRate float64, seed int64) *NoisyOracle {
+	return NewNoisyLookupOracle(world.Account, errRate, seed)
+}
+
+// NewNoisyLookupOracle creates an oracle over an arbitrary account
+// resolver — the ingest-source Lookup for multi-source and replayed runs,
+// where there is no single live world. The flip hash depends only on item
+// ids and the seed, so a replayed run's manual checks reproduce the
+// recording's answers bit for bit.
+func NewNoisyLookupOracle(lookup func(socialnet.AccountID) *socialnet.Account, errRate float64, seed int64) *NoisyOracle {
 	if errRate < 0 {
 		errRate = 0
 	}
 	if errRate >= 1 {
 		errRate = 0.99
 	}
-	return &NoisyOracle{world: world, errRate: errRate, seed: seed}
+	return &NoisyOracle{lookup: lookup, errRate: errRate, seed: seed}
 }
 
 // TweetIsSpam reveals a tweet's ground truth, possibly flipped.
@@ -42,7 +51,7 @@ func (o *NoisyOracle) TweetIsSpam(t *socialnet.Tweet) bool {
 // UserIsSpammer reveals an account's ground truth, possibly flipped.
 func (o *NoisyOracle) UserIsSpammer(id socialnet.AccountID) bool {
 	truth := false
-	if a := o.world.Account(id); a != nil {
+	if a := o.lookup(id); a != nil {
 		truth = a.Kind == socialnet.KindSpammer
 	}
 	if o.flip(uint64(id)*11400714819323198485 + 7) {

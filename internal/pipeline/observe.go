@@ -18,14 +18,14 @@ type instruments struct {
 func newInstruments(r *metrics.Registry) *instruments {
 	return &instruments{
 		depth: r.GaugeVec("ph_pipeline_queue_depth",
-			"Items buffered in a stage's input queue.", "stage", "shard"),
+			"Items buffered in a stage's input queue.", "stage", "shard", "source"),
 		backpressure: r.CounterVec("ph_pipeline_backpressure_total",
-			"Pushes that found the stage's input queue full and had to block.", "stage", "shard"),
+			"Pushes that found the stage's input queue full and had to block.", "stage", "shard", "source"),
 		batches: r.CounterVec("ph_pipeline_batches_total",
-			"Micro-batches flushed through a stage.", "stage", "shard"),
+			"Micro-batches flushed through a stage.", "stage", "shard", "source"),
 		items: r.CounterVec("ph_pipeline_items_total",
-			"Items processed by a stage across all micro-batches.", "stage", "shard"),
+			"Items processed by a stage across all micro-batches.", "stage", "shard", "source"),
 		flushSecs: r.HistogramVec("ph_pipeline_flush_seconds",
-			"Wall-clock latency of one micro-batch flush through a stage.", nil, "stage", "shard"),
+			"Wall-clock latency of one micro-batch flush through a stage.", nil, "stage", "shard", "source"),
 	}
 }

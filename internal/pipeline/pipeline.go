@@ -54,6 +54,12 @@ type Config struct {
 	// runner per shard plus a "coord" runner, so per-shard imbalance is
 	// visible at /metrics.
 	Shard string
+	// Source is the ingest-source label value stamped on every
+	// ph_pipeline_* metric and flush span this runner emits ("twitter"
+	// when unset — the implicit source of a sniffer without an explicit
+	// Sources configuration). Multi-source runs label each runner with
+	// the source feeding it, or "mux" downstream of the merge.
+	Source string
 	// Heartbeat, when set, is called with the stage name once per
 	// micro-batch flush — the progress signal the stall watchdog
 	// (internal/obs) uses to tell a stage that is slowly grinding from one
@@ -85,6 +91,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Shard == "" {
 		c.Shard = "0"
+	}
+	if c.Source == "" {
+		c.Source = "twitter"
 	}
 	return c
 }
@@ -133,8 +142,8 @@ func NewQueue[T any](r *Runner, name string) *Queue[T] {
 	return &Queue[T]{
 		name:         name,
 		ch:           make(chan T, r.cfg.QueueCap),
-		depth:        r.ins.depth.With(name, r.cfg.Shard),
-		backpressure: r.ins.backpressure.With(name, r.cfg.Shard),
+		depth:        r.ins.depth.With(name, r.cfg.Shard, r.cfg.Source),
+		backpressure: r.ins.backpressure.With(name, r.cfg.Shard, r.cfg.Source),
 	}
 }
 
@@ -276,11 +285,12 @@ func (r *Runner) flush(name string, n int, fn func(tr *trace.Trace)) {
 	sp.End()
 	if tr != nil {
 		tr.SetAttr("batch", strconv.Itoa(n))
+		tr.SetAttr("source", r.cfg.Source)
 	}
 	tr.Finish()
-	r.ins.batches.With(name, r.cfg.Shard).Inc()
-	r.ins.items.With(name, r.cfg.Shard).Add(float64(n))
-	r.ins.flushSecs.With(name, r.cfg.Shard).ObserveDuration(start)
+	r.ins.batches.With(name, r.cfg.Shard, r.cfg.Source).Inc()
+	r.ins.items.With(name, r.cfg.Shard, r.cfg.Source).Add(float64(n))
+	r.ins.flushSecs.With(name, r.cfg.Shard, r.cfg.Source).ObserveDuration(start)
 	if r.cfg.Heartbeat != nil {
 		r.cfg.Heartbeat(name)
 	}

@@ -43,6 +43,8 @@ type Merged struct {
 	Vec       features.Vector
 	TweetPrep label.TweetPrep
 	UserPrep  *label.UserPrep
+	// Origin is the ingest-source id of the stream the capture came from.
+	Origin string
 }
 
 // ProcConfig parameterizes the separate-process shard coordinator.
@@ -69,6 +71,10 @@ type ProcConfig struct {
 	// shard_extract spans; nil binds trace.Default() (disabled by
 	// default, making every trace call a no-op).
 	Tracer *trace.Tracer
+	// Origin is the ingest-source id of the tweet stream; it travels in
+	// every epoch header and is stamped on merged captures. Empty means
+	// "twitter".
+	Origin string
 }
 
 // ProcCoordinator drives separate-process shards through the epoch wire:
@@ -132,6 +138,9 @@ func newProcObs(reg *metrics.Registry, shards int) *procObs {
 func NewProcCoordinator(cfg ProcConfig) (*ProcCoordinator, error) {
 	if cfg.MaxRetries == 0 {
 		cfg.MaxRetries = 2
+	}
+	if cfg.Origin == "" {
+		cfg.Origin = "twitter"
 	}
 	ring := NewRing(cfg.Shards)
 	tr := cfg.Transport
@@ -199,7 +208,10 @@ func (pc *ProcCoordinator) BeginEpoch(nodes map[socialnet.AccountID][]int) {
 		// fingerprint in tests.
 		sort.Slice(assign[s], func(i, j int) bool { return assign[s][i].ID < assign[s][j].ID })
 		pc.bufs[s].Reset()
-		hdr, _ := json.Marshal(epochHeader{Epoch: pc.epoch, Nodes: assign[s], TraceID: pc.etrace.ID()})
+		hdr, _ := json.Marshal(epochHeader{
+			Epoch: pc.epoch, Nodes: assign[s],
+			TraceID: pc.etrace.ID(), Origin: pc.cfg.Origin,
+		})
 		pc.bufs[s].Write(hdr)
 		pc.bufs[s].WriteByte('\n')
 	}
@@ -396,6 +408,7 @@ func (pc *ProcCoordinator) combine(tweetID int64, group []Hit) (Merged, error) {
 		Receiver:  receiver,
 		Groups:    groups,
 		TweetPrep: donor.TweetPrep,
+		Origin:    pc.cfg.Origin,
 	}
 	copy(m.Vec[:], donor.Vec)
 	// Any shard's prep of this author works (pure function of the same

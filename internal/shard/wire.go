@@ -34,6 +34,10 @@ type NodeAssignment struct {
 type epochHeader struct {
 	Epoch int              `json:"epoch"`
 	Nodes []NodeAssignment `json:"nodes"`
+	// Origin is the ingest-source id of the tweet stream ("twitter" when
+	// absent); workers tag their epoch traces with it so cross-process
+	// trace stitching keeps the source dimension.
+	Origin string `json:"origin,omitempty"`
 	// TraceID is the coordinator's epoch-trace correlation id. The worker
 	// attaches it to its own epoch trace and echoes its spans in the
 	// response trailer, so the coordinator can stitch one cross-process
@@ -142,6 +146,9 @@ func (w *WorkerCore) Epoch(req io.Reader, resp io.Writer) error {
 	wtr.SetAttr("epoch", strconv.Itoa(hdr.Epoch))
 	if hdr.TraceID != "" {
 		wtr.SetAttr("coord_trace", hdr.TraceID)
+	}
+	if hdr.Origin != "" {
+		wtr.SetAttr("source", hdr.Origin)
 	}
 	msp := wtr.StartSpan("worker_match")
 

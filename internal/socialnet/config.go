@@ -69,7 +69,33 @@ type Config struct {
 	// SpammerChurn replaces retired spam accounts with freshly registered
 	// campaign members, keeping spam volume steady as real campaigns do.
 	SpammerChurn bool
+
+	// ImageHashMode selects the perceptual hash precomputed for profile
+	// images: "" or ImageHashDHash is the paper's difference hash (the
+	// oracle mode the pinned goldens use); ImageHashPHash is the DCT
+	// hash, robust to the rescale/recompress mutations that
+	// MutateCampaignImages applies.
+	ImageHashMode string
+
+	// CampaignImageSeeds overrides the BaseImageSeed of the first
+	// len(CampaignImageSeeds) campaigns, letting two worlds (e.g. the
+	// Twitter and Reddit sources of a muxed run) share campaign avatars
+	// so cross-source campaigns cluster together. The override replaces
+	// already-drawn values, so it changes no other generation randomness.
+	CampaignImageSeeds []int64
+
+	// MutateCampaignImages rescales and JPEG-recompresses every campaign
+	// member's avatar before hashing, modelling re-uploaded variants.
+	// Meaningful with ImageHashPHash; dHash is brittle under these edits
+	// (the dhash-vs-phash cluster-quality tests quantify exactly that).
+	MutateCampaignImages bool
 }
+
+// Image-hash modes for Config.ImageHashMode.
+const (
+	ImageHashDHash = "dhash"
+	ImageHashPHash = "phash"
+)
 
 // DefaultConfig returns a scaled-down world (a few percent of the paper's
 // traffic volume) suitable for tests and benchmarks while preserving every
@@ -130,6 +156,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("socialnet: LoneWolfFraction %v out of [0, 1]", c.LoneWolfFraction)
 	case c.SpamBudgetMean < 0:
 		return errors.New("socialnet: SpamBudgetMean must be non-negative")
+	case c.ImageHashMode != "" && c.ImageHashMode != ImageHashDHash && c.ImageHashMode != ImageHashPHash:
+		return fmt.Errorf("socialnet: unknown ImageHashMode %q (want %q or %q)",
+			c.ImageHashMode, ImageHashDHash, ImageHashPHash)
 	}
 	return nil
 }

@@ -110,6 +110,16 @@ func (w *World) generate() {
 	for i := 0; i < numCampaigns; i++ {
 		w.campaigns = append(w.campaigns, newCampaign(i, w.rng))
 	}
+	// Cross-source campaigns: replace already-drawn base-image seeds so
+	// another world's campaigns share these avatars. A pure overwrite —
+	// no rng draw is added or removed, so all other generation is
+	// untouched.
+	for i, seed := range w.cfg.CampaignImageSeeds {
+		if i >= len(w.campaigns) {
+			break
+		}
+		w.campaigns[i].BaseImageSeed = seed
+	}
 
 	w.accounts = make([]*Account, 0, n)
 	for i := 0; i < n; i++ {
@@ -134,6 +144,15 @@ func (w *World) generate() {
 	w.rng.Shuffle(len(w.accounts), func(i, j int) {
 		w.accounts[i], w.accounts[j] = w.accounts[j], w.accounts[i]
 	})
+}
+
+// hashAvatar computes the configured perceptual hash of an avatar image.
+// The default (dHash) is what every pinned golden was recorded under.
+func (w *World) hashAvatar(m *imagehash.Image) imagehash.Hash {
+	if w.cfg.ImageHashMode == ImageHashPHash {
+		return imagehash.PHash(m)
+	}
+	return imagehash.DHash(m)
 }
 
 // genNormal creates a benign account. A DiverseFraction share of the
@@ -184,7 +203,7 @@ func (w *World) genNormal(id AccountID) *Account {
 		FavouritesCount:  favs,
 		StatusesCount:    statuses,
 		ProfileImageSeed: imgSeed,
-		ProfileImageHash: imagehash.DHash(imagehash.Synthesize(imgSeed)),
+		ProfileImageHash: w.hashAvatar(imagehash.Synthesize(imgSeed)),
 		Kind:             KindNormal,
 		CampaignID:       NoCampaign,
 		HashtagCategory:  cat,
@@ -226,14 +245,21 @@ func (w *World) genSpammer(id AccountID, c *Campaign, now time.Time) *Account {
 		a.ScreenName = w.gen.normalScreenName(id)
 		a.Description = w.gen.benignDescription()
 		a.ProfileImageSeed = imgSeed
-		a.ProfileImageHash = imagehash.DHash(imagehash.Synthesize(imgSeed))
+		a.ProfileImageHash = w.hashAvatar(imagehash.Synthesize(imgSeed))
 	} else {
 		base := imagehash.Synthesize(c.BaseImageSeed)
 		a.ScreenName = campaignName(c.NameShape, w.gen)
 		a.Description = w.gen.campaignDescription(c.DescTemplate, c.URL(rng))
 		a.DefaultProfileImage = rng.Float64() < 0.4
 		a.ProfileImageSeed = c.BaseImageSeed
-		a.ProfileImageHash = imagehash.DHash(imagehash.Perturb(base, 40, rng))
+		avatar := imagehash.Perturb(base, 40, rng)
+		if w.cfg.MutateCampaignImages {
+			// Re-upload mutations: the platform thumbnail pipeline
+			// resamples the image and a lossy round trip follows.
+			// Deterministic, so no rng draws change.
+			avatar = imagehash.Recompress(imagehash.Rescale(avatar, 48, 48), 60)
+		}
+		a.ProfileImageHash = w.hashAvatar(avatar)
 	}
 	a.spamBudget = w.drawSpamBudget()
 	// Spam accounts post little organic content (camouflage only); they
@@ -372,7 +398,7 @@ func (w *World) genSeed(id AccountID) *Account {
 		StatusesCount:    int(logUniform(rng, 5000, 100000)),
 		Verified:         true,
 		ProfileImageSeed: imgSeed,
-		ProfileImageHash: imagehash.DHash(imagehash.Synthesize(imgSeed)),
+		ProfileImageHash: w.hashAvatar(imagehash.Synthesize(imgSeed)),
 		Kind:             KindSeed,
 		CampaignID:       NoCampaign,
 		HashtagCategory:  HashtagGeneral,

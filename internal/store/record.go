@@ -29,6 +29,11 @@ type CaptureRecord struct {
 	Receiver *socialnet.Account
 	// Groups are the monitor group indices the capture counted toward.
 	Groups []int
+	// Src is the ingest-source id that delivered the tweet ("twitter",
+	// "reddit"); empty for records written before the ingestion layer
+	// existed. It rides as an optional trailing field, so old logs (and
+	// the fuzz corpus) still decode.
+	Src string
 }
 
 // Capture records use a hand-rolled binary codec instead of gob: appends
@@ -91,9 +96,12 @@ func appendFloat(b []byte, f float64) []byte {
 	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
 }
 
-// appendAccount encodes a profile snapshot's exported fields. The
-// engine-side unexported fields (activity bookkeeping, spam budget) are
-// outside the snapshot contract, exactly as in CaptureStore's gob spill.
+// appendAccount encodes a profile snapshot's exported fields plus the
+// last-post timestamp (it feeds the mention-gap feature, so replayed
+// extraction needs it — same reason the proc shard wire carries it). The
+// remaining engine-side unexported fields (activity bookkeeping, spam
+// budget) are outside the snapshot contract, exactly as in CaptureStore's
+// gob spill.
 func appendAccount(b []byte, a *socialnet.Account) []byte {
 	if a == nil {
 		return append(b, 0)
@@ -123,6 +131,7 @@ func appendAccount(b []byte, a *socialnet.Account) []byte {
 	b = appendFloat(b, a.TweetsPerHour)
 	b = appendFloat(b, a.MentionRate)
 	b = appendVarint(b, int64(a.PreferredSource))
+	b = appendTime(b, a.LastPostAt())
 	return b
 }
 
@@ -150,6 +159,11 @@ func EncodeCapture(buf []byte, rec *CaptureRecord) []byte {
 	buf = appendUvarint(buf, uint64(len(rec.Groups)))
 	for _, g := range rec.Groups {
 		buf = appendUvarint(buf, uint64(g))
+	}
+	if rec.Src != "" {
+		// Optional trailing field: absent bytes decode to "", so records
+		// written by older builds remain readable.
+		buf = appendString(buf, rec.Src)
 	}
 	return buf
 }
@@ -307,6 +321,7 @@ func (d *decoder) account() *socialnet.Account {
 	a.TweetsPerHour = d.float()
 	a.MentionRate = d.float()
 	a.PreferredSource = socialnet.Source(d.varint())
+	a.SetLastPostAt(d.time())
 	if d.err != nil {
 		return nil
 	}
@@ -352,6 +367,13 @@ func DecodeCapture(payload []byte) (*CaptureRecord, error) {
 		rec.Groups = make([]int, 0, ng)
 		for i := uint64(0); i < ng && d.err == nil; i++ {
 			rec.Groups = append(rec.Groups, int(d.uvarint()))
+		}
+	}
+	if d.err == nil && len(d.b) != 0 {
+		// Optional trailing source id. The encoder writes it only when
+		// non-empty, so an empty decode here is stray bytes, not a field.
+		if rec.Src = d.str(); d.err == nil && rec.Src == "" {
+			return nil, errors.New("store: empty trailing source id")
 		}
 	}
 	if d.err != nil {

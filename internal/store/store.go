@@ -32,6 +32,12 @@ type Options struct {
 	// Tracer receives checkpoint/recovery spans; nil disables them (a
 	// nil tracer is a valid no-op receiver).
 	Tracer *trace.Tracer
+	// RetainAll suspends compaction pruning: checkpoints still rotate the
+	// log, but no checkpoint or WAL segment is ever removed. Recording
+	// runs set this — a replayable recording is only as good as its
+	// oldest surviving segment, and pruning would silently truncate the
+	// history a ReplaySource re-feeds.
+	RetainAll bool
 }
 
 // Recovery is what Open reconstructed from disk.
@@ -73,6 +79,7 @@ type Store struct {
 	w           *segmentWriter
 	pending     int // appends since last successful sync
 	syncEvery   int
+	retainAll   bool
 	meta        string
 	buf         []byte // payload scratch, reused across appends
 	frame       []byte // framing scratch (header + payload copy), likewise
@@ -148,6 +155,7 @@ func Open(opts Options) (*Store, *Recovery, error) {
 		release:   release,
 		obs:       newObserver(opts.Metrics, opts.Tracer),
 		syncEvery: opts.SyncEvery,
+		retainAll: opts.RetainAll,
 		meta:      opts.Meta,
 	}
 	if s.syncEvery <= 0 {
@@ -265,6 +273,25 @@ func (s *Store) replaySegment(first, base uint64, rec *Recovery) error {
 			}
 			if seq > base {
 				rec.SimHours += hours
+			}
+		case RecordRotation:
+			rr, err := DecodeRotation(payload)
+			if err != nil {
+				return fmt.Errorf("store: segment %d: %w", first, err)
+			}
+			// Recovery re-runs the simulation, which rotates again; only
+			// the sequence matters here. ReadLog is the consumer of the
+			// rotation schedule itself.
+			if rr.Seq > s.seq {
+				s.seq = rr.Seq
+			}
+		case RecordProfiles:
+			seq, _, err := DecodeProfiles(payload)
+			if err != nil {
+				return fmt.Errorf("store: segment %d: %w", first, err)
+			}
+			if seq > s.seq {
+				s.seq = seq
 			}
 		case RecordMeta:
 			if rec.Meta == "" {
@@ -437,6 +464,9 @@ func (s *Store) WriteCheckpoint(ck *Checkpoint) error {
 // fully covered by the older retained checkpoint. Prune failures are
 // deliberately non-fatal — they cost disk, not correctness.
 func (s *Store) pruneLocked(newSeq uint64) {
+	if s.retainAll {
+		return
+	}
 	names, err := s.b.List()
 	if err != nil {
 		return

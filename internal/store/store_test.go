@@ -396,6 +396,62 @@ func TestCheckpointPrunesHistory(t *testing.T) {
 	}
 }
 
+// TestRetainAllKeepsFullHistory is the recording-mode retention property:
+// with Options.RetainAll, checkpoint cycles that would normally prune old
+// checkpoints and covered WAL segments leave every file in place, so a
+// replay reading the log still sees the run's first record.
+func TestRetainAllKeepsFullHistory(t *testing.T) {
+	b := fstest.New()
+	s, _, err := store.Open(store.Options{
+		Backend:   b,
+		SyncEvery: 1,
+		Meta:      "test-meta",
+		Metrics:   metrics.NewRegistry(),
+		RetainAll: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		appendN(t, s, round*10, 10)
+		if err := s.WriteCheckpoint(&store.Checkpoint{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := b.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpts, segs int
+	for _, n := range names {
+		switch filepath.Ext(n) {
+		case ".ckpt":
+			ckpts++
+		case ".log":
+			segs++
+		}
+	}
+	if ckpts != 4 {
+		t.Errorf("retained %d checkpoints, want all 4 (names: %v)", ckpts, names)
+	}
+	if segs < 4 {
+		t.Errorf("retained %d segments, want >= 4 (names: %v)", segs, names)
+	}
+	log, err := store.ReadLog(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Captures) != 40 {
+		t.Fatalf("full log has %d captures, want 40", len(log.Captures))
+	}
+	if got := log.Captures[0].Seq; got != 1 {
+		t.Errorf("first surviving capture seq = %d, want 1 (history truncated)", got)
+	}
+}
+
 func TestAllCheckpointsCorruptWithPrunedHistoryFails(t *testing.T) {
 	b := fstest.New()
 	s, _ := openTest(t, b, 1)

@@ -26,7 +26,10 @@ import (
 // frame can only ever sit at a segment tail, never in front of later
 // records of the same file.
 const (
-	walMagic = "PHWAL001"
+	// The magic names the record format version; 002 added the account
+	// snapshots' last-post timestamp (replayed extraction needs it for
+	// the mention-gap feature).
+	walMagic = "PHWAL002"
 	// frameOverhead is the per-record framing cost in bytes.
 	frameOverhead = 4 + 4 + 1
 	// MaxRecordSize bounds a single record's payload; decode rejects
@@ -45,6 +48,14 @@ const (
 	// RecordMeta is the store's configuration fingerprint, written once
 	// as the first record of the first segment.
 	RecordMeta byte = 3
+	// RecordRotation is one hourly node-set rotation: the per-group node
+	// counts the monitor selected, persisted so a WAL replay can
+	// re-accrue the same node hours (RotationRecord codec).
+	RecordRotation byte = 4
+	// RecordProfiles is the end-of-run profile epilogue: the final live
+	// profiles of every account a capture referenced, persisted so a
+	// replay labels suspensions against end-of-run state.
+	RecordProfiles byte = 5
 )
 
 // ErrTornTail reports that a segment ended in a torn (incomplete or
